@@ -1,0 +1,29 @@
+"""Ablation: edge-balanced vs vertex-balanced partitioning (§III.D).
+
+DESIGN.md design-choice #4: the paper load-balances vertex-oriented
+algorithms by vertices and edge-oriented ones by edges; this ablation
+crosses the criteria.
+"""
+
+from conftest import run_once
+
+from repro.bench import ablation_balance
+
+
+def test_ablation_balance(benchmark, cache, record):
+    exp = run_once(
+        benchmark,
+        ablation_balance,
+        dataset="twitter",
+        algorithms=("PR", "CC", "BFS", "BF"),
+        scale=1.0,
+        num_threads=48,
+        num_partitions=384,
+        cache=cache,
+    )
+    record("ablation_balance", exp)
+    for row in exp.rows:
+        code, orientation, edge_balanced, vertex_balanced = row
+        if orientation == "edge":
+            # Edge-oriented work should not suffer under edge balance.
+            assert edge_balanced <= vertex_balanced * 1.1

@@ -1,0 +1,31 @@
+"""Ablation: three-way frontier classification vs two-way degenerations.
+
+DESIGN.md design-choice #1: disabling the medium-dense class (everything
+non-sparse streams the COO) or the dense class (everything non-sparse
+walks the CSC backward, Ligra-style) should not beat the paper's
+three-way scheme on the mixed-density workloads.
+"""
+
+from conftest import run_once
+
+from repro.bench import ablation_thresholds
+
+
+def test_ablation_thresholds(benchmark, cache, record):
+    exp = run_once(
+        benchmark,
+        ablation_thresholds,
+        dataset="twitter",
+        algorithms=("PRDelta", "BFS", "CC", "PR"),
+        scale=1.0,
+        num_threads=48,
+        num_partitions=384,
+        cache=cache,
+    )
+    record("ablation_thresholds", exp)
+    for row in exp.rows:
+        code, three_way, coo_only, csc_only = row
+        # The adaptive scheme is never much worse than either degeneration
+        # and beats at least one of them for every algorithm.
+        assert three_way <= min(coo_only, csc_only) * 1.15
+        assert three_way <= max(coo_only, csc_only)

@@ -1,0 +1,37 @@
+"""Figure 10: parallel scalability of PRDelta vs thread count.
+
+Paper: from 4 to 48 threads Polymer speeds up ~6x on Friendster while
+GG-v2 speeds up ~10x; every system improves monotonically.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig10_scalability
+
+
+def test_fig10(benchmark, cache, record):
+    out = run_once(
+        benchmark,
+        fig10_scalability,
+        graphs=("twitter", "friendster"),
+        algorithm="PRDelta",
+        thread_counts=(4, 8, 16, 24, 48),
+        scale=0.5,
+        gg2_partitions=384,
+        cache=cache,
+    )
+    record("fig10_scalability", *out.values())
+
+    for graph in ("twitter", "friendster"):
+        exp = out[graph]
+        for col in ("L", "P", "GG-v1", "GG-v2"):
+            series = exp.column(col)
+            # Monotone improvement with threads.
+            assert all(b <= a * 1.02 for a, b in zip(series, series[1:]))
+        # GG-v2 scales at least as well as Polymer (paper: 10x vs 6x).
+        p = exp.column("P")
+        gg2 = exp.column("GG-v2")
+        assert gg2[0] / gg2[-1] >= 0.8 * (p[0] / p[-1])
+        # And is the fastest at full thread count.
+        last = {c: exp.column(c)[-1] for c in ("L", "P", "GG-v1", "GG-v2")}
+        assert last["GG-v2"] == min(last.values())

@@ -1,0 +1,31 @@
+"""Figure 2: reuse-distance distribution of next-frontier updates.
+
+Paper: PRDelta on Twitter, destination-partitioned CSR-order layout; as
+the partition count grows the distribution contracts toward shorter
+distances, and short distances become more frequent.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig2_reuse_distance
+
+
+def test_fig2(benchmark, cache, record):
+    exp, hists = run_once(
+        benchmark,
+        fig2_reuse_distance,
+        dataset="twitter",
+        scale=0.5,
+        partition_counts=(1, 4, 8, 24, 192, 384),
+        max_accesses=300_000,
+        cache=cache,
+    )
+    record("fig2_reuse_distance", exp)
+
+    # Worst-case reuse distance contracts monotonically with partitioning.
+    maxima = [hists[p].max_distance() for p in (1, 4, 8, 24, 192, 384)]
+    assert all(b <= a for a, b in zip(maxima, maxima[1:]))
+    assert hists[384].max_distance() < hists[1].max_distance() / 10
+
+    # Short distances become more frequent: the p90 shrinks drastically.
+    assert hists[384].percentile(90) < hists[1].percentile(90) / 5

@@ -1,0 +1,33 @@
+"""Figure 3: replication factor vs number of partitions.
+
+Paper: r(p) grows sub-linearly; social graphs replicate heavily (Twitter
+11.7 at 384), road networks barely; the worst case is |E|/|V|.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig3_replication
+
+
+def test_fig3(benchmark, cache, record):
+    exp = run_once(
+        benchmark,
+        fig3_replication,
+        graphs=("twitter", "friendster", "orkut", "usaroad", "livejournal", "powerlaw"),
+        partition_counts=(1, 2, 4, 8, 16, 32, 64, 128, 256, 384),
+        scale=1.0,
+        cache=cache,
+    )
+    record("fig3_replication", exp)
+
+    partitions = exp.column("partitions")
+    for graph in ("twitter", "orkut", "usaroad"):
+        series = exp.column(graph)
+        # Monotone growth...
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+        # ...but far below linear in p.
+        assert series[-1] < partitions[-1] / 4
+    # Social graphs replicate much more than the road network (paper's
+    # Figure 3 ordering).
+    assert exp.column("usaroad")[-1] < exp.column("twitter")[-1]
+    assert exp.column("usaroad")[-1] < exp.column("orkut")[-1]

@@ -1,0 +1,53 @@
+"""Figure 6: emulating unrestricted memory on LiveJournal and Yahoo_mem.
+
+Paper: with enough memory, partitioned CSR can scale past 48 partitions —
+but edge-oriented algorithms (BP) see diminishing returns and then a
+slowdown from vertex-replication work, while vertex-oriented ones (BFS)
+barely react; avoiding atomics always helps.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig6_small_graphs
+
+
+def test_fig6(benchmark, cache, record):
+    out = run_once(
+        benchmark,
+        fig6_small_graphs,
+        graphs=("livejournal", "yahoo_mem"),
+        algorithms=("BFS", "BP"),
+        partition_counts=(4, 8, 24, 48, 96, 192, 384, 768),
+        scale=1.0,
+        num_threads=48,
+        cache=cache,
+    )
+    record("fig6_small_graphs", *out.values())
+
+    for graph in ("livejournal", "yahoo_mem"):
+        bp = out[(graph, "BP")]
+        csr = [t for t in bp.column("CSR+a") if t is not None]
+        # No memory wall on the small graphs: every point evaluated.
+        assert len(csr) == 8
+        # Edge-oriented on partitioned CSR: diminishing returns at extreme
+        # partition counts (replication work, §IV.B) — the best point is
+        # not the extreme one, or the extra partitions stopped paying.
+        gain_tail = (csr[4] - csr[-1]) / csr[4]  # P=96 -> 768
+        gain_head = (csr[0] - csr[4]) / csr[0]   # P=4 -> 96
+        assert gain_tail < max(gain_head, 0.12)
+        # And COO dominates partitioned CSR once P >= threads.
+        coo = bp.column("COO+na")
+        assert all(c <= r for c, r in zip(coo[4:], csr[4:]))
+
+        bfs_exp = out[(graph, "BFS")]
+        csc = bfs_exp.column("CSC+na")
+        # Vertex-oriented: no significant variation with partitions.
+        assert max(csc) / min(csc) < 3.0
+
+        # Avoiding atomics reduces time wherever both variants exist.
+        for row in bp.rows:
+            _, csr_a, csr_na, _, coo_na, coo_a = row
+            if csr_na is not None:
+                assert csr_na <= csr_a * 1.001
+            if coo_na is not None:
+                assert coo_na <= coo_a * 1.001

@@ -1,0 +1,35 @@
+"""Figure 8: LLC misses per kilo-instruction vs partition count.
+
+Paper: partitioning halves PR's MPKI (29.0 -> 15.1 on Friendster); BFS, a
+vertex-oriented single-visit algorithm, sees no such reduction.
+Reproduction caveats are documented in EXPERIMENTS.md (the sweep stops at
+96 partitions and uses CSR-ordered traces; the stand-in's smaller
+|E|/|V| makes replication cold misses take over sooner).
+"""
+
+from conftest import run_once
+
+from repro.bench import fig8_mpki
+
+
+def test_fig8(benchmark, cache, record):
+    out = run_once(
+        benchmark,
+        fig8_mpki,
+        graphs=("twitter", "friendster"),
+        algorithms=("PR", "BF", "BFS"),
+        partition_counts=(4, 8, 12, 24, 48, 96),
+        scale=0.5,
+        cache=cache,
+    )
+    record("fig8_mpki", *out.values())
+
+    for graph in ("twitter", "friendster"):
+        exp = out[graph]
+        pr = exp.column("PR")
+        # Partitioning reduces the MPKI of the edge-oriented PR by around
+        # half at the sweet spot (paper: 29.0 -> 15.1).
+        assert min(pr) < pr[0] * 0.7
+        # BF behaves like PR (dense edge-oriented relaxation sweeps).
+        bf = exp.column("BF")
+        assert min(bf) < bf[0] * 0.7

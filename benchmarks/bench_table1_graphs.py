@@ -1,0 +1,16 @@
+"""Table I: characterisation of the evaluation graphs."""
+
+from conftest import run_once
+
+from repro.bench import table1_graphs
+
+
+def test_table1(benchmark, cache, record):
+    exp = run_once(benchmark, table1_graphs, scale=1.0, cache=cache)
+    record("table1_graphs", exp)
+    assert len(exp.rows) == 8
+    # Twitter/Friendster are the largest real-world stand-ins, as in the
+    # paper's analysis focus.
+    sizes = {row[0]: row[5] for row in exp.rows}
+    assert sizes["friendster"] > sizes["livejournal"]
+    assert sizes["twitter"] > sizes["yahoo_mem"]

@@ -1,0 +1,13 @@
+"""Table II: the eight algorithms and their classification."""
+
+from conftest import run_once
+
+from repro.bench import table2_algorithms
+
+
+def test_table2(benchmark, record):
+    exp = run_once(benchmark, table2_algorithms)
+    record("table2_algorithms", exp)
+    assert [r[0] for r in exp.rows] == [
+        "BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP",
+    ]

@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures: one StoreCache per session, an output dir.
+
+Run the full suite with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark executes its figure driver exactly once (pedantic mode:
+these are minutes-long experiment sweeps, not microbenchmarks), writes the
+resulting table to ``benchmarks/out/<name>.txt`` and asserts the paper's
+headline shape claims.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import StoreCache
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def cache() -> StoreCache:
+    """Session-wide store cache shared by all benchmarks."""
+    return StoreCache()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    """Directory collecting the rendered experiment tables."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def record(out_dir):
+    """Write one or more rendered experiments to ``out/<name>.txt``."""
+
+    def _record(name: str, *renderables) -> None:
+        text = "\n\n".join(
+            r.render() if hasattr(r, "render") else str(r) for r in renderables
+        )
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an experiment driver once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Locality study: watch partitioning shorten reuse distances and misses.
+
+Reproduces the paper's core mechanism interactively: generate the
+next-array address stream a traversal would issue, measure exact LRU
+stack distances (Figure 2's metric) and simulated LLC misses (Figure 8's
+metric) as the partition count grows.
+
+Run:  python examples/locality_study.py
+"""
+
+from repro import datasets
+from repro.bench.report import render_table
+from repro.layout.coo import PartitionedCOO
+from repro.machine import MachineSpec
+from repro.memsim import (
+    llc_config,
+    next_array_trace,
+    partition_edge_traces,
+    reuse_histogram,
+    simulate_cache,
+)
+from repro.partition import partition_by_destination, replication_factor
+
+
+def main() -> None:
+    edges = datasets.load("twitter", scale=0.25)
+    machine = MachineSpec().scaled_for(edges.num_vertices)
+    print(f"graph: {edges.num_vertices} vertices, {edges.num_edges} edges")
+    print(f"modelled LLC per socket: {machine.llc_bytes_per_socket} bytes\n")
+
+    rows = []
+    for p in (1, 4, 8, 24, 48):
+        vp = partition_by_destination(edges, p)
+        coo = PartitionedCOO.build(edges, vp)
+
+        # Figure 2's measurement: stack distances of next-array updates.
+        hist = reuse_histogram(next_array_trace(coo)[:150_000])
+
+        # Figure 8's measurement: misses of the interleaved edge trace.
+        cfg = llc_config(machine, sharing_cores=1)
+        misses = sum(
+            simulate_cache(t, cfg).misses for t in partition_edge_traces(coo)
+        )
+
+        rows.append(
+            [
+                p,
+                round(replication_factor(edges, vp), 2),
+                hist.max_distance(),
+                hist.percentile(90),
+                round(misses / edges.num_edges, 3),
+            ]
+        )
+
+    print(
+        render_table(
+            ["partitions", "r(p)", "max reuse dist", "p90 reuse dist", "misses/edge"],
+            rows,
+            title="partitioning vs locality (paper Figures 2/3/8 in one table)",
+        )
+    )
+    print(
+        "\nreading guide: the reuse-distance columns contract as partitions"
+        "\nconfine destination updates (Figure 2); the replication factor"
+        "\ngrows sub-linearly (Figure 3); misses per edge fall until source"
+        "\nreplication catches up (Figure 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Road-network routing: shortest paths on a high-diameter graph.
+
+Road networks are the hard case for frontier frameworks (the paper calls
+USAroad "hard to process"): frontiers stay sparse for hundreds of rounds,
+so nearly every edge map routes through the unpartitioned CSR — the exact
+scenario the paper's sparse-frontier design point addresses.
+
+Run:  python examples/road_network_routing.py
+"""
+
+import numpy as np
+
+from repro import Engine, EngineOptions, GraphStore
+from repro.algorithms import bellman_ford, bfs
+from repro.frontier.density import DensityClass
+from repro.graph import generators
+from repro.graph.weights import WeightFn
+
+
+def main() -> None:
+    roads = generators.road_grid(120, diagonal_fraction=0.03, seed=11)
+    print(f"road network: {roads.num_vertices} intersections, "
+          f"{roads.num_edges} road segments (symmetric)")
+
+    store = GraphStore.build(roads, num_partitions=48, balance="vertices")
+    engine = Engine(store, EngineOptions(num_threads=48))
+
+    # --- hop distance ---------------------------------------------------
+    depot = 0
+    hops = bfs(engine, depot)
+    print(f"\nBFS from depot: diameter-ish eccentricity = {hops.rounds - 1} hops")
+    hist = hops.stats.density_histogram()
+    print("frontier classes over the run:",
+          {k.value: v for k, v in hist.items()})
+    sparse_share = hist[DensityClass.SPARSE] / hops.rounds
+    print(f"{sparse_share:.0%} of rounds were sparse — road networks live "
+          "on the unpartitioned-CSR path")
+
+    # --- travel time ----------------------------------------------------
+    travel_time = WeightFn(low=1.0, high=5.0, seed=3)  # minutes per segment
+    route = bellman_ford(engine, depot, weight_fn=travel_time)
+    far = int(np.nanargmax(np.where(np.isfinite(route.dist), route.dist, np.nan)))
+    print(f"\nBellman-Ford: farthest reachable intersection is {far} at "
+          f"{route.dist[far]:.1f} minutes ({route.rounds} relaxation rounds)")
+
+    # --- reachability within a budget ------------------------------------
+    budget = 60.0
+    within = int((route.dist <= budget).sum())
+    print(f"{within} intersections reachable within {budget:.0f} minutes "
+          f"({within / roads.num_vertices:.0%} of the network)")
+
+
+if __name__ == "__main__":
+    main()

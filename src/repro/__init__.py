@@ -1,0 +1,33 @@
+"""GraphGrind-v2: memory-locality-aware graph analytics via graph partitioning.
+
+Reproduction of Sun, Vandierendonck & Nikolopoulos, *Accelerating Graph
+Analytics by Utilising the Memory Locality of Graph Partitioning*,
+ICPP 2017 (DOI 10.1109/ICPP.2017.27).
+
+Quickstart::
+
+    from repro import GraphStore, Engine, datasets
+    from repro.algorithms import bfs
+
+    edges = datasets.load("twitter", scale=0.25)
+    store = GraphStore.build(edges, num_partitions=48)
+    result = bfs(Engine(store), source=0)
+"""
+
+from .core.engine import Engine
+from .core.options import EngineOptions
+from .frontier.frontier import Frontier
+from .graph import datasets
+from .graph.edgelist import EdgeList
+from .layout.store import GraphStore
+
+__all__ = [
+    "EdgeList",
+    "GraphStore",
+    "Engine",
+    "EngineOptions",
+    "Frontier",
+    "datasets",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``run``
+    Execute one of the Table II algorithms on a dataset stand-in (or a
+    graph file) and report results plus simulated machine time::
+
+        python -m repro run PR --dataset twitter --scale 0.5 --partitions 384
+        python -m repro run BFS --graph my_edges.txt --threads 16
+
+``experiment``
+    Regenerate one of the paper's tables/figures and print its table::
+
+        python -m repro experiment fig3
+        python -m repro experiment fig9 --scale 0.25
+
+``info``
+    Show the dataset registry and algorithm table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import datasets
+from .algorithms import registry
+from .bench import figures
+from .core.engine import Engine
+from .core.options import EngineOptions
+from .graph import io as graph_io
+from .layout.store import GraphStore
+from .machine.cost import CostModel, profile_store
+from .machine.spec import MachineSpec
+
+EXPERIMENTS = {
+    "table1": lambda **kw: [figures.table1_graphs(**kw)],
+    "table2": lambda **kw: [figures.table2_algorithms()],
+    "fig2": lambda **kw: [figures.fig2_reuse_distance(**kw)[0]],
+    "fig3": lambda **kw: [figures.fig3_replication(**kw)],
+    "fig4": lambda **kw: [figures.fig4_storage(**kw)],
+    "fig5": lambda **kw: list(figures.fig5_partition_scaling(**kw).values()),
+    "fig6": lambda **kw: list(figures.fig6_small_graphs(**kw).values()),
+    "fig7": lambda **kw: list(figures.fig7_sort_order(**kw).values()),
+    "fig8": lambda **kw: list(figures.fig8_mpki(**kw).values()),
+    "fig9": lambda **kw: list(figures.fig9_comparison(**kw).values()),
+    "fig10": lambda **kw: list(figures.fig10_scalability(**kw).values()),
+    "ablation-thresholds": lambda **kw: [figures.ablation_thresholds(**kw)],
+    "ablation-balance": lambda **kw: [figures.ablation_balance(**kw)],
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GraphGrind-v2 reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on a graph")
+    run.add_argument("algorithm", choices=registry.names())
+    run.add_argument("--dataset", default="twitter", choices=datasets.names())
+    run.add_argument("--graph", help="edge-list file (.npz or text) instead of --dataset")
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--partitions", type=int, default=96)
+    run.add_argument("--threads", type=int, default=48)
+    run.add_argument("--edge-order", default="source",
+                     choices=("source", "destination", "hilbert"))
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--scale", type=float, default=None)
+
+    sub.add_parser("info", help="list datasets and algorithms")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.graph:
+        loader = graph_io.load_npz if args.graph.endswith(".npz") else graph_io.load_text
+        edges = loader(args.graph)
+        source_name = args.graph
+    else:
+        edges = datasets.load(args.dataset, args.scale)
+        source_name = f"{args.dataset}@{args.scale}"
+    spec = registry.get(args.algorithm)
+    print(f"{spec.code} on {source_name}: |V|={edges.num_vertices} |E|={edges.num_edges}")
+
+    t0 = time.perf_counter()
+    store = GraphStore.build(
+        edges,
+        num_partitions=min(args.partitions, max(edges.num_vertices, 1)),
+        balance=spec.balance,
+        edge_order=args.edge_order,
+    )
+    build_s = time.perf_counter() - t0
+    engine = Engine(store, EngineOptions(num_threads=args.threads))
+
+    t0 = time.perf_counter()
+    result = spec.run(engine)
+    run_s = time.perf_counter() - t0
+
+    from .bench.harness import Workbench
+
+    stats = Workbench._stats_of(result)
+    machine = MachineSpec().scaled_for(edges.num_vertices)
+    model = CostModel(machine, num_threads=args.threads)
+    profile = profile_store(store, num_threads=args.threads)
+    sim_s = model.run_time_seconds(stats, profile, update_scale=spec.update_scale)
+
+    print(f"store build: {build_s:.2f}s wall; run: {run_s:.2f}s wall")
+    print(f"edge maps: {stats.num_iterations}; "
+          f"layouts {stats.layout_histogram()}; "
+          f"density {{ {', '.join(f'{k.value}: {v}' for k, v in stats.density_histogram().items())} }}")
+    print(f"simulated time on modelled machine ({args.threads} threads): "
+          f"{sim_s * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    for exp in EXPERIMENTS[args.name](**kwargs):
+        print(exp.render())
+        print()
+    return 0
+
+
+def _cmd_info() -> int:
+    print(figures.table1_graphs(scale=0.25).render())
+    print()
+    print(figures.table2_algorithms().render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "info":
+        return _cmd_info()
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

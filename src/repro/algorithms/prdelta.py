@@ -1,0 +1,88 @@
+"""PageRankDelta (Table II: PRDelta, edge-oriented, forward).
+
+The optimised PageRank variant of Ligra: instead of pushing full ranks
+every round, vertices forward only the *change* (delta) of their rank, and
+a vertex stays active only while its delta is significant.  Frontier
+density therefore decays over the run — the paper reports 8 dense, 3
+medium-dense and 22 sparse rounds on Twitter — which makes PRDelta the
+showcase for the three-way traversal decision (it is the paper's headline
+speedup, 4.34x over Ligra on Yahoo_mem).
+
+The recurrence mirrors the power method exactly when no vertex is
+deactivated: ``delta_0 = (1-d)/n`` on all vertices, ``p += delta`` each
+round, ``delta_{t+1}[v] = d * sum_{u->v} delta_t[u]/outdeg(u)``, so ``p``
+converges to the (dangling-mass-leaking) PageRank vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._types import VAL_DTYPE, VID_DTYPE
+from ..core.engine import Engine
+from ..core.ops import EdgeOperator
+from ..core.stats import RunStats
+from ..frontier.frontier import Frontier
+
+__all__ = ["pagerank_delta", "PageRankDeltaResult", "PRDeltaOp"]
+
+
+class PRDeltaOp(EdgeOperator):
+    """Accumulate ``delta[u] / outdeg(u)`` into each destination."""
+
+    def __init__(self, scaled_delta: np.ndarray, accum: np.ndarray) -> None:
+        self.scaled_delta = scaled_delta
+        self.accum = accum
+
+    def process_edges(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        np.add.at(self.accum, dst, self.scaled_delta[src])
+        return dst.astype(VID_DTYPE)
+
+
+@dataclass(frozen=True)
+class PageRankDeltaResult:
+    """Converged rank estimate, rounds executed, and statistics (whose
+    per-round density classes reproduce the paper's PRDelta breakdown)."""
+
+    ranks: np.ndarray
+    iterations: int
+    stats: RunStats
+
+
+def pagerank_delta(
+    engine: Engine,
+    *,
+    damping: float = 0.85,
+    epsilon: float = 1e-7,
+    max_iterations: int = 100,
+) -> PageRankDeltaResult:
+    """Delta-forwarding PageRank over the engine's graph.
+
+    A vertex is active next round while ``|delta| > epsilon * p`` (Ligra's
+    activation rule).  The run ends when the frontier empties or after
+    ``max_iterations`` rounds.
+    """
+    n = engine.num_vertices
+    out_deg = engine.store.out_degrees.astype(VAL_DTYPE)
+    safe_deg = np.where(out_deg > 0, out_deg, 1.0)
+    p = np.zeros(n, dtype=VAL_DTYPE)
+    delta = np.full(n, (1.0 - damping) / n, dtype=VAL_DTYPE)
+    p += delta
+    frontier = Frontier.full(n)
+    engine.reset_stats()
+    rounds = 0
+    while not frontier.is_empty and rounds < max_iterations:
+        accum = np.zeros(n, dtype=VAL_DTYPE)
+        op = PRDeltaOp(delta / safe_deg, accum)
+        received = engine.edge_map(frontier, op)
+        rounds += 1
+        delta = damping * accum
+        p += delta
+        if received.is_empty:
+            break
+        ids = received.as_sparse()
+        significant = np.abs(delta[ids]) > epsilon * np.maximum(p[ids], 1e-300)
+        frontier = Frontier(n, sparse=ids[significant])
+    return PageRankDeltaResult(ranks=p, iterations=rounds, stats=engine.reset_stats())

@@ -1,0 +1,119 @@
+"""Algorithm registry: Table II metadata plus uniform benchmark runners.
+
+Each :class:`AlgorithmSpec` records the paper's classification of the
+algorithm — preferred traversal direction (the *prior-work* labelling the
+paper revisits) and vertex- vs edge-orientation (the classification the
+paper argues actually explains performance) — together with the
+load-balance criterion §III.D assigns it and a uniform ``run(engine)``
+adapter used by every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.engine import Engine
+from .bc import betweenness
+from .bellman_ford import bellman_ford
+from .bfs import bfs
+from .bp import belief_propagation
+from .cc import connected_components
+from .pagerank import pagerank
+from .prdelta import pagerank_delta
+from .spmv import spmv
+
+__all__ = ["AlgorithmSpec", "ALGORITHMS", "names", "get", "default_source"]
+
+
+def default_source(engine: Engine) -> int:
+    """Deterministic traversal root: the maximum-out-degree vertex.
+
+    Matches common practice for BFS/BC/SSSP benchmarks on social graphs
+    (a high-degree root reaches the giant component immediately).
+    """
+    return int(np.argmax(engine.store.out_degrees))
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One Table II row plus a uniform runner."""
+
+    code: str
+    description: str
+    #: the literature's preferred edge-traversal direction (Table II).
+    traversal: str
+    #: "vertex" or "edge" — the paper's orientation classification.
+    orientation: str
+    #: §III.D load-balance criterion for this orientation.
+    balance: str
+    run: Callable[[Engine], object]
+    #: per-edge compute weight relative to PageRank's single add — feeds
+    #: the cost model's ``update_scale`` (BP evaluates message functions
+    #: with transcendentals per edge; SPMV/BF do a multiply-add).
+    update_scale: float = 1.0
+
+
+ALGORITHMS: dict[str, AlgorithmSpec] = {
+    spec.code: spec
+    for spec in [
+        AlgorithmSpec(
+            "BC", "betweenness-centrality (Brandes, single source)",
+            "backward", "vertex", "vertices",
+            lambda eng: betweenness(eng, default_source(eng)),
+        ),
+        AlgorithmSpec(
+            "CC", "connected components using label propagation",
+            "backward", "edge", "edges",
+            lambda eng: connected_components(eng),
+        ),
+        AlgorithmSpec(
+            "PR", "PageRank, power method, 10 iterations",
+            "backward", "edge", "edges",
+            lambda eng: pagerank(eng, iterations=10),
+        ),
+        AlgorithmSpec(
+            "BFS", "breadth-first search",
+            "backward", "vertex", "vertices",
+            lambda eng: bfs(eng, default_source(eng)),
+        ),
+        AlgorithmSpec(
+            "PRDelta", "PageRank forwarding delta-updates between vertices",
+            "forward", "edge", "edges",
+            lambda eng: pagerank_delta(eng, epsilon=1e-4),
+        ),
+        AlgorithmSpec(
+            "SPMV", "sparse matrix-vector multiplication (1 iteration)",
+            "forward", "edge", "edges",
+            lambda eng: spmv(eng),
+            update_scale=1.5,
+        ),
+        AlgorithmSpec(
+            "BF", "Bellman-Ford single-source shortest path",
+            "forward", "vertex", "vertices",
+            lambda eng: bellman_ford(eng, default_source(eng)),
+            update_scale=1.5,
+        ),
+        AlgorithmSpec(
+            "BP", "Bayesian belief propagation, 10 iterations",
+            "forward", "edge", "edges",
+            lambda eng: belief_propagation(eng),
+            update_scale=80.0,
+        ),
+    ]
+}
+
+
+def names() -> list[str]:
+    """Algorithm codes in Table II order."""
+    return list(ALGORITHMS)
+
+
+def get(code: str) -> AlgorithmSpec:
+    """Look up an algorithm spec by its Table II code."""
+    try:
+        return ALGORITHMS[code]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {code!r}; available: {names()}") from None

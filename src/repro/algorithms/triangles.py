@@ -1,0 +1,67 @@
+"""Triangle counting by rank-ordered adjacency intersection.
+
+Library-completeness algorithm (Ligra ships one; the paper does not
+evaluate it).  Uses the standard degree-ordered direction trick: orient
+each undirected edge from the lower-rank to the higher-rank endpoint and
+count, per directed edge (u, v), the intersection of the out-neighbour
+sets — every triangle is counted exactly once.
+
+Works directly on the CSR layout (this is not a frontier algorithm); the
+intersection loop is vectorised per vertex via ``np.intersect1d`` over
+sorted adjacency slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import build_csr
+from ..graph.edgelist import EdgeList
+
+__all__ = ["count_triangles", "TriangleResult"]
+
+
+@dataclass(frozen=True)
+class TriangleResult:
+    """Total triangles and the per-vertex incident-triangle counts."""
+
+    total: int
+    per_vertex: np.ndarray
+
+
+def count_triangles(edges: EdgeList) -> TriangleResult:
+    """Count triangles of a symmetric graph.
+
+    Directed inputs are symmetrised first (a triangle is an undirected
+    notion); self-loops are ignored.
+    """
+    g = edges.symmetrized().without_self_loops()
+    n = g.num_vertices
+    deg = g.out_degrees()
+    # Rank = (degree, id): orient edges toward higher rank so each
+    # triangle {a, b, c} is counted once at its lowest-rank corner pair.
+    rank = np.lexsort((np.arange(n), deg))
+    pos = np.empty(n, dtype=np.int64)
+    pos[rank] = np.arange(n)
+    keep = pos[g.src] < pos[g.dst]
+    oriented = EdgeList(n, g.src[keep], g.dst[keep])
+    csr = build_csr(oriented)
+    per_vertex = np.zeros(n, dtype=np.int64)
+    total = 0
+    for u in range(n):
+        nbrs_u = csr.neighbors_of(u)
+        if nbrs_u.size < 1:
+            continue
+        for v in nbrs_u:
+            common = np.intersect1d(
+                nbrs_u, csr.neighbors_of(int(v)), assume_unique=True
+            )
+            c = int(common.size)
+            if c:
+                total += c
+                per_vertex[u] += c
+                per_vertex[v] += c
+                per_vertex[common] += 1
+    return TriangleResult(total=total, per_vertex=per_vertex)

@@ -1,0 +1,42 @@
+"""Benchmark harness: experiment drivers for every table and figure."""
+
+from .figures import (
+    Experiment,
+    ablation_balance,
+    ablation_thresholds,
+    fig2_reuse_distance,
+    fig3_replication,
+    fig4_storage,
+    fig5_partition_scaling,
+    fig6_small_graphs,
+    fig7_sort_order,
+    fig8_mpki,
+    fig9_comparison,
+    fig10_scalability,
+    table1_graphs,
+    table2_algorithms,
+)
+from .harness import StoreCache, Workbench, force_atomics
+from .report import render_kv, render_table
+
+__all__ = [
+    "Experiment",
+    "StoreCache",
+    "Workbench",
+    "force_atomics",
+    "render_table",
+    "render_kv",
+    "table1_graphs",
+    "table2_algorithms",
+    "fig2_reuse_distance",
+    "fig3_replication",
+    "fig4_storage",
+    "fig5_partition_scaling",
+    "fig6_small_graphs",
+    "fig7_sort_order",
+    "fig8_mpki",
+    "fig9_comparison",
+    "fig10_scalability",
+    "ablation_thresholds",
+    "ablation_balance",
+]

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment tables and series.
+
+The paper's figures are line charts; a terminal reproduction renders each
+as a table of the same series (x = partitions / threads / graph, one
+column per curve), which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_value", "render_kv"]
+
+
+def format_value(v: object, *, precision: int = 4) -> str:
+    """Human-friendly cell formatting (floats trimmed, None → '-')."""
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 10_000 or abs(v) < 10 ** (-precision):
+            return f"{v:.{precision}g}"
+        return f"{v:.{precision}g}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    str_rows = [[format_value(c, precision=precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: dict[str, object], *, title: str | None = None) -> str:
+    """Render key/value metadata lines (experiment parameters)."""
+    lines = [title] if title else []
+    width = max((len(k) for k in pairs), default=0)
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {format_value(v)}")
+    return "\n".join(lines)

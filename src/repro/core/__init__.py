@@ -1,0 +1,17 @@
+"""The GraphGrind-v2 engine: Ligra-compatible edge/vertex map with Algorithm 2."""
+
+from .engine import Engine
+from .ops import EdgeOperator
+from .options import EngineOptions
+from .reference import reference_edge_map
+from .stats import EdgeMapStats, RunStats, VertexMapStats
+
+__all__ = [
+    "Engine",
+    "EngineOptions",
+    "EdgeOperator",
+    "EdgeMapStats",
+    "VertexMapStats",
+    "RunStats",
+    "reference_edge_map",
+]

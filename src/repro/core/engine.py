@@ -1,0 +1,311 @@
+"""The GraphGrind-v2 execution engine (paper §III).
+
+:class:`Engine` implements the Ligra-compatible ``edge_map`` /
+``vertex_map`` interface on top of the three-copy
+:class:`~repro.layout.store.GraphStore`.  Each ``edge_map`` runs the
+paper's Algorithm 2: classify the frontier as sparse / medium-dense /
+dense and dispatch to the matching traversal kernel —
+
+* sparse       → forward traversal of the unpartitioned CSR,
+* medium-dense → backward traversal of the whole-graph CSC, split into
+  the partition computation ranges,
+* dense        → streaming traversal of the destination-partitioned COO.
+
+The forward-vs-backward choice therefore folds into the density decision
+and is never specified by the algorithm programmer.
+
+Every call records an :class:`~repro.core.stats.EdgeMapStats`, which the
+machine model converts into simulated execution time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import VID_DTYPE
+from ..frontier.density import DensityClass, classify_frontier
+from ..frontier.frontier import Frontier
+from ..layout.pcsr import PartitionedCSR
+from ..layout.store import GraphStore
+from .gather import gather_adjacency
+from .ops import EdgeOperator
+from .options import EngineOptions
+from .stats import EdgeMapStats, RunStats, VertexMapStats
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Frontier-based graph processing over a :class:`GraphStore`."""
+
+    def __init__(self, store: GraphStore, options: EngineOptions | None = None) -> None:
+        self.store = store
+        self.options = options or EngineOptions()
+        self.stats = RunStats()
+        self._pcsr: PartitionedCSR | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """|V| of the processed graph."""
+        return self.store.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """|E| of the processed graph."""
+        return self.store.num_edges
+
+    def reset_stats(self) -> RunStats:
+        """Detach and return accumulated statistics, starting a fresh record."""
+        out = self.stats
+        self.stats = RunStats()
+        return out
+
+    # ------------------------------------------------------------------
+    # edge map
+    # ------------------------------------------------------------------
+    def edge_map(self, frontier: Frontier, op: EdgeOperator) -> Frontier:
+        """Apply ``op`` over the out-edges of ``frontier``'s vertices.
+
+        Returns the next frontier: the distinct vertices ``op`` activated.
+        """
+        if frontier.num_vertices != self.num_vertices:
+            raise ValueError("frontier size does not match the graph")
+        if frontier.is_empty:
+            return Frontier.empty(self.num_vertices)
+
+        density = classify_frontier(
+            frontier, self.store.out_degrees, self.num_edges, self.options.thresholds
+        )
+        layout = self.options.forced_layout or {
+            DensityClass.SPARSE: self.options.sparse_layout,
+            DensityClass.MEDIUM: "csc",
+            DensityClass.DENSE: "coo",
+        }[density]
+
+        if layout == "csr":
+            return self._edge_map_sparse_csr(frontier, op, density)
+        if layout == "csc":
+            return self._edge_map_backward_csc(frontier, op, density)
+        if layout == "coo":
+            return self._edge_map_partitioned_coo(frontier, op, density)
+        if layout == "pcsr":
+            return self._edge_map_partitioned_csr(frontier, op, density)
+        raise AssertionError(f"unreachable layout {layout!r}")
+
+    # -- sparse: forward traversal of the unpartitioned CSR -------------
+    def _edge_map_sparse_csr(
+        self, frontier: Frontier, op: EdgeOperator, density: DensityClass
+    ) -> Frontier:
+        active = frontier.as_sparse()
+        csr = self.store.csr
+        src, dst = gather_adjacency(csr.index, csr.neighbors, active)
+        examined = int(dst.size)
+        cond = op.cond(dst)
+        if cond is not None:
+            src, dst = src[cond], dst[cond]
+        activated = op.process_edges(src, dst)
+        nxt = self._make_frontier(activated)
+        self.stats.edge_maps.append(
+            EdgeMapStats(
+                layout="csr",
+                direction="forward",
+                density=density,
+                frontier_size=frontier.size,
+                active_edges=int(dst.size),
+                examined_edges=examined,
+                scanned_vertices=int(active.size),
+                updated_vertices=nxt.size,
+                uses_atomics=self.options.num_threads > 1,
+                num_partitions=1,
+            )
+        )
+        return nxt
+
+    # -- medium-dense: backward traversal of the ranged CSC -------------
+    def _edge_map_backward_csc(
+        self, frontier: Frontier, op: EdgeOperator, density: DensityClass
+    ) -> Frontier:
+        bitmap = frontier.as_bitmap()
+        csc = self.store.csc.csc
+        ranges = self.store.csc.partition
+        activated_parts: list[np.ndarray] = []
+        p = ranges.num_partitions
+        part_examined = np.zeros(p, dtype=np.int64)
+        part_touched = np.zeros(p, dtype=np.int64)
+        examined = 0
+        active_edges = 0
+        scanned = 0
+        for i in range(p):
+            lo, hi = ranges.vertex_range(i)
+            if lo == hi:
+                continue
+            candidates = np.arange(lo, hi, dtype=VID_DTYPE)
+            cond = op.cond(candidates)
+            if cond is not None:
+                candidates = candidates[cond]
+            scanned += hi - lo
+            dst, src = gather_adjacency(csc.index, csc.neighbors, candidates)
+            part_examined[i] = src.size
+            examined += int(src.size)
+            live = bitmap[src]
+            src, dst = src[live], dst[live]
+            active_edges += int(src.size)
+            acts = op.process_edges(src, dst)
+            part_touched[i] = np.unique(dst).size
+            if acts.size:
+                activated_parts.append(acts)
+        nxt = self._make_frontier(
+            np.concatenate(activated_parts) if activated_parts else np.empty(0, VID_DTYPE)
+        )
+        self.stats.edge_maps.append(
+            EdgeMapStats(
+                layout="csc",
+                direction="backward",
+                density=density,
+                frontier_size=frontier.size,
+                active_edges=active_edges,
+                examined_edges=examined,
+                scanned_vertices=scanned,
+                updated_vertices=nxt.size,
+                uses_atomics=False,
+                num_partitions=p,
+                partition_examined=part_examined,
+                partition_touched_vertices=part_touched,
+            )
+        )
+        return nxt
+
+    # -- dense: streaming traversal of the partitioned COO --------------
+    def _edge_map_partitioned_coo(
+        self, frontier: Frontier, op: EdgeOperator, density: DensityClass
+    ) -> Frontier:
+        bitmap = frontier.as_bitmap()
+        coo = self.store.coo
+        p = coo.num_partitions
+        activated_parts: list[np.ndarray] = []
+        part_examined = np.zeros(p, dtype=np.int64)
+        part_touched = np.zeros(p, dtype=np.int64)
+        active_edges = 0
+        for i in range(p):
+            src, dst = coo.partition_edges(i)
+            part_examined[i] = src.size
+            live = bitmap[src]
+            cond = op.cond(dst)
+            if cond is not None:
+                live = live & cond
+            src, dst = src[live], dst[live]
+            active_edges += int(src.size)
+            acts = op.process_edges(src, dst)
+            part_touched[i] = np.unique(dst).size
+            if acts.size:
+                activated_parts.append(acts)
+        nxt = self._make_frontier(
+            np.concatenate(activated_parts) if activated_parts else np.empty(0, VID_DTYPE)
+        )
+        self.stats.edge_maps.append(
+            EdgeMapStats(
+                layout="coo",
+                direction="forward",
+                density=density,
+                frontier_size=frontier.size,
+                active_edges=active_edges,
+                examined_edges=coo.num_edges,
+                scanned_vertices=0,
+                updated_vertices=nxt.size,
+                uses_atomics=p < self.options.num_threads,
+                num_partitions=p,
+                partition_examined=part_examined,
+                partition_touched_vertices=part_touched,
+            )
+        )
+        return nxt
+
+    # -- forced: partitioned CSR (Figure 5 layout comparison) -----------
+    def _edge_map_partitioned_csr(
+        self, frontier: Frontier, op: EdgeOperator, density: DensityClass
+    ) -> Frontier:
+        if self._pcsr is None:
+            self._pcsr = self.store.build_partitioned_csr()
+        bitmap = frontier.as_bitmap()
+        pcsr = self._pcsr
+        p = pcsr.num_partitions
+        activated_parts: list[np.ndarray] = []
+        part_examined = np.zeros(p, dtype=np.int64)
+        part_touched = np.zeros(p, dtype=np.int64)
+        active_edges = 0
+        examined = 0
+        scanned = 0
+        active_ids = frontier.as_sparse()
+        for i, part in enumerate(pcsr.parts):
+            if active_ids.size * 8 < part.num_stored_vertices:
+                # Sparse frontier: binary-search each active vertex in this
+                # partition's stored slots instead of scanning them all.
+                pos = np.searchsorted(part.vertex_ids, active_ids)
+                valid = pos < part.vertex_ids.size
+                hits = part.vertex_ids[pos[valid]] == active_ids[valid]
+                live_slots = pos[valid][hits]
+                scanned += active_ids.size
+            else:
+                # Dense frontier: every stored (replicated) vertex is
+                # visited to test activity — the §II.F work inflation.
+                live_slots = np.flatnonzero(bitmap[part.vertex_ids])
+                scanned += part.num_stored_vertices
+            if live_slots.size == 0:
+                continue
+            slot_keys, dst = gather_adjacency(part.index, part.neighbors, live_slots)
+            src = part.vertex_ids[slot_keys]
+            part_examined[i] = dst.size
+            examined += int(dst.size)
+            cond = op.cond(dst)
+            if cond is not None:
+                src, dst = src[cond], dst[cond]
+            active_edges += int(src.size)
+            acts = op.process_edges(src, dst)
+            part_touched[i] = np.unique(dst).size
+            if acts.size:
+                activated_parts.append(acts)
+        nxt = self._make_frontier(
+            np.concatenate(activated_parts) if activated_parts else np.empty(0, VID_DTYPE)
+        )
+        self.stats.edge_maps.append(
+            EdgeMapStats(
+                layout="pcsr",
+                direction="forward",
+                density=density,
+                frontier_size=frontier.size,
+                active_edges=active_edges,
+                examined_edges=examined,
+                scanned_vertices=scanned,
+                updated_vertices=nxt.size,
+                uses_atomics=p < self.options.num_threads,
+                num_partitions=p,
+                partition_examined=part_examined,
+                partition_touched_vertices=part_touched,
+            )
+        )
+        return nxt
+
+    # ------------------------------------------------------------------
+    # vertex map
+    # ------------------------------------------------------------------
+    def vertex_map(self, frontier: Frontier, fn) -> None:
+        """Apply ``fn(active_vertex_ids)`` once, for its side effects."""
+        self.stats.vertex_maps.append(VertexMapStats(frontier_size=frontier.size))
+        if not frontier.is_empty:
+            fn(frontier.as_sparse())
+
+    def vertex_filter(self, frontier: Frontier, pred) -> Frontier:
+        """Keep the active vertices for which ``pred(ids)`` returns True."""
+        self.stats.vertex_maps.append(VertexMapStats(frontier_size=frontier.size))
+        if frontier.is_empty:
+            return frontier
+        ids = frontier.as_sparse()
+        keep = np.asarray(pred(ids), dtype=bool)
+        if keep.shape != ids.shape:
+            raise ValueError("predicate must return one boolean per active vertex")
+        return Frontier(self.num_vertices, sparse=ids[keep])
+
+    # ------------------------------------------------------------------
+    def _make_frontier(self, activated: np.ndarray) -> Frontier:
+        return Frontier(self.num_vertices, sparse=activated)

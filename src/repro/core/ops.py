@@ -1,0 +1,52 @@
+"""Vectorised edge/vertex operator protocol for the Ligra-style API.
+
+Ligra's ``EDGEMAP(G, F, update, cond)`` applies ``update(u, v)`` to every
+edge ``(u, v)`` with ``u`` active and ``cond(v)`` true, and returns the set
+of vertices for which an update "returned true".  A per-edge Python
+callback would be hopelessly slow, so operators here receive whole *batches*
+of edges as numpy arrays and must apply their update with scatter ufuncs
+(``np.add.at``, ``np.minimum.at``, ...), which are correct in the presence
+of duplicate destinations for the commutative reductions all of the paper's
+algorithms use.
+
+The engine may slice one logical edge-map into many batches (one per graph
+partition) in any order, which is exactly the freedom the paper's
+partitioned execution exploits; operators must therefore be insensitive to
+batch boundaries and ordering.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["EdgeOperator"]
+
+
+class EdgeOperator(abc.ABC):
+    """One iteration's edge update for an algorithm.
+
+    Subclasses hold references to the algorithm's state arrays and mutate
+    them in :meth:`process_edges`.
+    """
+
+    def cond(self, dst_ids: np.ndarray) -> np.ndarray | None:
+        """Which destination vertices still accept updates.
+
+        Returns a boolean mask parallel to ``dst_ids``, or ``None`` meaning
+        "all true" (the default).  Used by the backward CSC kernel to skip
+        whole adjacency slices (e.g. already-visited vertices in BFS) and by
+        the other kernels to pre-filter edges.
+        """
+        return None
+
+    @abc.abstractmethod
+    def process_edges(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Apply the update to edges ``(src[i], dst[i])``.
+
+        Both arrays may contain duplicate vertices.  Returns the vertex ids
+        activated by these updates (duplicates allowed; the engine dedups
+        when building the next frontier).
+        """
+        raise NotImplementedError

@@ -1,0 +1,62 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontier.density import DensityThresholds
+
+__all__ = ["EngineOptions", "FORCEABLE_LAYOUTS"]
+
+#: Layouts the engine can be pinned to (for the Figure 5 layout sweep).
+FORCEABLE_LAYOUTS = ("pcsr", "csc", "coo")
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Tunable behaviour of :class:`repro.core.engine.Engine`.
+
+    Attributes
+    ----------
+    thresholds:
+        Density thresholds of Algorithm 2.  The default is the paper's
+        5 % / 50 %; ``DensityThresholds(sparse=0.05, medium=1.0)``
+        degenerates to Ligra's two-way sparse/dense classification.
+    num_threads:
+        Simulated worker threads.  Determines when atomic operations can
+        be elided (COO needs ``P >= num_threads``) and feeds the makespan
+        model.
+    forced_layout:
+        Pin every traversal to one layout (``"pcsr"``, ``"csc"`` or
+        ``"coo"``) instead of running Algorithm 2 — used by the layout
+        comparison benchmarks.  ``None`` (default) enables the decision
+        procedure.
+    numa_aware:
+        Whether partitions are placed on their home NUMA node (GraphGrind /
+        Polymer) or interleaved (Ligra).  Only affects the cost model.
+    sparse_layout:
+        Layout used for sparse frontiers: ``"csr"`` — the whole-graph CSR
+        (a GraphGrind-v2 contribution, §III.A.1, shared with Ligra) — or
+        ``"pcsr"`` — the partitioned CSR Polymer and GraphGrind-v1 use for
+        everything, which pays a per-partition lookup cost on sparse
+        frontiers.
+    """
+
+    thresholds: DensityThresholds = field(default_factory=DensityThresholds)
+    num_threads: int = 48
+    forced_layout: str | None = None
+    numa_aware: bool = True
+    sparse_layout: str = "csr"
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.forced_layout is not None and self.forced_layout not in FORCEABLE_LAYOUTS:
+            raise ValueError(
+                f"forced_layout must be one of {FORCEABLE_LAYOUTS} or None, "
+                f"got {self.forced_layout!r}"
+            )
+        if self.sparse_layout not in ("csr", "pcsr"):
+            raise ValueError(
+                f"sparse_layout must be 'csr' or 'pcsr', got {self.sparse_layout!r}"
+            )

@@ -1,0 +1,40 @@
+"""Reference (oracle) edge-map executor for correctness testing.
+
+Applies the Ligra semantics one edge at a time, in plain edge-list order,
+feeding each edge to the operator as a one-element batch.  Because all the
+paper's algorithms use commutative per-destination reductions, the final
+state must match the engine's batched, partition-sliced execution exactly —
+the kernel-equivalence tests in ``tests/core`` rely on this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import VID_DTYPE
+from ..frontier.frontier import Frontier
+from ..graph.edgelist import EdgeList
+from .ops import EdgeOperator
+
+__all__ = ["reference_edge_map"]
+
+
+def reference_edge_map(
+    edges: EdgeList, frontier: Frontier, op: EdgeOperator
+) -> Frontier:
+    """Edge-at-a-time oracle with identical semantics to ``Engine.edge_map``."""
+    bitmap = frontier.as_bitmap()
+    activated: list[int] = []
+    for e in range(edges.num_edges):
+        u = int(edges.src[e])
+        if not bitmap[u]:
+            continue
+        v = int(edges.dst[e])
+        dst = np.array([v], dtype=VID_DTYPE)
+        cond = op.cond(dst)
+        if cond is not None and not bool(cond[0]):
+            continue
+        src = np.array([u], dtype=VID_DTYPE)
+        acts = op.process_edges(src, dst)
+        activated.extend(int(a) for a in acts)
+    return Frontier(edges.num_vertices, sparse=np.array(activated, dtype=VID_DTYPE))

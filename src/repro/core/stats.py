@@ -1,0 +1,99 @@
+"""Execution statistics recorded by the engine.
+
+The paper's performance claims rest on mechanisms (work, replication,
+atomics, locality, load balance) that a pure-Python re-run cannot time
+directly, so every ``edge_map`` records the quantities those mechanisms
+depend on.  The machine cost model (:mod:`repro.machine.cost`) turns a
+:class:`RunStats` into simulated execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..frontier.density import DensityClass
+
+__all__ = ["EdgeMapStats", "VertexMapStats", "RunStats"]
+
+
+@dataclass(frozen=True)
+class EdgeMapStats:
+    """Counters for one edge-map invocation."""
+
+    #: layout traversed: "csr" (whole), "pcsr" (partitioned), "csc", "coo".
+    layout: str
+    #: "forward" or "backward".
+    direction: str
+    #: density class the decision procedure assigned.
+    density: DensityClass
+    #: |F| — active vertices entering the call.
+    frontier_size: int
+    #: edges whose update was actually applied (active source, cond holds).
+    active_edges: int
+    #: edges scanned by the traversal (includes skipped/inactive ones).
+    examined_edges: int
+    #: vertex index entries visited, including replicated copies (work
+    #: inflation of §II.F).
+    scanned_vertices: int
+    #: number of distinct vertices activated (next frontier size).
+    updated_vertices: int
+    #: whether this traversal needs hardware atomics on the real machine.
+    uses_atomics: bool
+    #: number of partitions/chunks the traversal was split into.
+    num_partitions: int
+    #: per-partition examined-edge counts (drives the makespan model);
+    #: ``None`` when the traversal is not partitioned.
+    partition_examined: np.ndarray | None = None
+    #: per-partition counts of *distinct destination vertices* updated,
+    #: a proxy for each chunk's random-access working set (locality model).
+    partition_touched_vertices: np.ndarray | None = None
+
+
+@dataclass(frozen=True)
+class VertexMapStats:
+    """Counters for one vertex-map invocation."""
+
+    frontier_size: int
+
+
+@dataclass
+class RunStats:
+    """All statistics of one algorithm run."""
+
+    edge_maps: list[EdgeMapStats] = field(default_factory=list)
+    vertex_maps: list[VertexMapStats] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_iterations(self) -> int:
+        """Number of edge-map rounds executed."""
+        return len(self.edge_maps)
+
+    def total_active_edges(self) -> int:
+        """Total applied edge updates across the run."""
+        return sum(s.active_edges for s in self.edge_maps)
+
+    def total_examined_edges(self) -> int:
+        """Total scanned edges across the run."""
+        return sum(s.examined_edges for s in self.edge_maps)
+
+    def total_scanned_vertices(self) -> int:
+        """Total vertex-slot visits (including replication) across the run."""
+        return sum(s.scanned_vertices for s in self.edge_maps)
+
+    def density_histogram(self) -> dict[DensityClass, int]:
+        """How many rounds fell in each density class (cf. the paper's
+        PRDelta breakdown: 8 dense, 3 medium-dense, 22 sparse)."""
+        hist = {c: 0 for c in DensityClass}
+        for s in self.edge_maps:
+            hist[s.density] += 1
+        return hist
+
+    def layout_histogram(self) -> dict[str, int]:
+        """How many rounds used each layout."""
+        hist: dict[str, int] = {}
+        for s in self.edge_maps:
+            hist[s.layout] = hist.get(s.layout, 0) + 1
+        return hist

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or layout is structurally invalid."""
+
+
+class PartitionError(ReproError):
+    """A partitioning request is invalid (e.g. more partitions than edges)."""
+
+
+class CapacityError(ReproError):
+    """A layout does not fit in the modelled machine's memory.
+
+    The paper could evaluate partitioned CSR on Twitter only up to 48
+    partitions before exhausting the machine's 256 GiB; this error models
+    that wall so benchmarks can report "out of memory" points exactly as
+    the paper's figures omit them.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration cap."""

@@ -1,0 +1,6 @@
+"""Frontier representations and density classification."""
+
+from .density import DensityClass, DensityThresholds, classify_frontier
+from .frontier import Frontier
+
+__all__ = ["Frontier", "DensityClass", "DensityThresholds", "classify_frontier"]

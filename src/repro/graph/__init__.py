@@ -1,0 +1,17 @@
+"""Graph substrates: edge lists, compressed layouts, generators, datasets, I/O."""
+
+from .csr import CompressedGraph, build_csc, build_csr
+from .edgelist import EdgeList
+from .properties import GraphStats, graph_stats
+from .weights import WeightFn, edge_weights
+
+__all__ = [
+    "EdgeList",
+    "CompressedGraph",
+    "build_csr",
+    "build_csc",
+    "GraphStats",
+    "graph_stats",
+    "WeightFn",
+    "edge_weights",
+]

@@ -1,0 +1,184 @@
+"""Synthetic graph generators.
+
+The paper evaluates on web-scale crawls (Twitter, Friendster, ...) that we
+cannot ship; these generators produce structurally matched stand-ins:
+
+* :func:`rmat` — Kronecker/R-MAT graphs, the standard skewed-degree social
+  network surrogate (the paper itself uses RMAT27);
+* :func:`powerlaw` — Chung–Lu graphs with a configurable power-law
+  exponent (the paper's "Powerlaw (alpha = 2.0)" dataset);
+* :func:`road_grid` — a 2-D lattice with diagonal shortcuts: large
+  diameter, tiny uniform degree, matching USAroad's character;
+* :func:`erdos_renyi` — uniform random graphs for tests;
+* small deterministic shapes (:func:`path`, :func:`star`, :func:`cycle`,
+  :func:`complete`) for unit tests, plus :func:`paper_example`, the exact
+  6-vertex / 14-edge graph of the paper's Figure 1.
+
+All generators take an explicit ``seed`` and are deterministic for a given
+(seed, parameters) pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import VID_DTYPE
+from .edgelist import EdgeList
+
+__all__ = [
+    "rmat",
+    "powerlaw",
+    "road_grid",
+    "erdos_renyi",
+    "path",
+    "cycle",
+    "star",
+    "complete",
+    "paper_example",
+]
+
+
+def rmat(
+    scale: int,
+    edge_factor: float = 16.0,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    dedup: bool = True,
+    permute: bool = False,
+) -> EdgeList:
+    """R-MAT graph with ``2**scale`` vertices and ``edge_factor * |V|`` edges.
+
+    The default (a, b, c) parameters are the Graph500 values, producing the
+    heavy-tailed degree distribution typical of social networks.  By
+    default vertex ids are left in their natural R-MAT order, which (like
+    real crawl orderings) correlates degree with id — low ids are hubs —
+    so contiguous vertex ranges carry uneven edge counts, the load-balance
+    hazard the paper's edge-balanced partitioning addresses.  Pass
+    ``permute=True`` for a degree-position-independent variant.
+    """
+    n = 1 << scale
+    m = int(edge_factor * n)
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(m)
+        src <<= 1
+        dst <<= 1
+        # Quadrant probabilities: (0,0)=a, (0,1)=b, (1,0)=c, (1,1)=d.
+        right = (r >= a) & (r < a + b)
+        down = (r >= a + b) & (r < a + b + c)
+        both = r >= a + b + c
+        dst += (right | both).astype(np.int64)
+        src += (down | both).astype(np.int64)
+    if permute:
+        perm = rng.permutation(n).astype(VID_DTYPE)
+        src, dst = perm[src], perm[dst]
+    edges = EdgeList(n, src, dst).without_self_loops()
+    return edges.deduplicated() if dedup else edges
+
+
+def powerlaw(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    alpha: float = 2.0,
+    seed: int = 0,
+) -> EdgeList:
+    """Chung–Lu power-law graph: degree of vertex ``i`` ∝ ``(i+1)^(-1/(alpha-1))``.
+
+    Matches the paper's synthetic "Powerlaw (alpha = 2.0)" dataset: endpoint
+    vertices are drawn independently from the power-law weight distribution,
+    giving expected degrees following a power law with exponent ``alpha``.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must be > 1")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (alpha - 1.0))
+    probs = weights / weights.sum()
+    src = rng.choice(num_vertices, size=num_edges, p=probs).astype(VID_DTYPE)
+    dst = rng.choice(num_vertices, size=num_edges, p=probs).astype(VID_DTYPE)
+    # Ids stay in weight order (low id = high degree), mirroring the
+    # crawl-order skew of real social-network datasets.
+    return EdgeList(num_vertices, src, dst).without_self_loops().deduplicated()
+
+
+def road_grid(
+    side: int,
+    *,
+    diagonal_fraction: float = 0.05,
+    seed: int = 0,
+) -> EdgeList:
+    """Road-network stand-in: a ``side x side`` lattice, symmetrised.
+
+    Every cell connects to its right and down neighbours (both directions),
+    plus a sprinkle of diagonal shortcuts.  Degree is nearly uniform and
+    diameter is O(side) — the properties that make USAroad hard for
+    frontier-based frameworks (long sparse-frontier phases).
+    """
+    n = side * side
+    ids = np.arange(n, dtype=VID_DTYPE).reshape(side, side)
+    right_src = ids[:, :-1].reshape(-1)
+    right_dst = ids[:, 1:].reshape(-1)
+    down_src = ids[:-1, :].reshape(-1)
+    down_dst = ids[1:, :].reshape(-1)
+    src = np.concatenate([right_src, down_src])
+    dst = np.concatenate([right_dst, down_dst])
+    if diagonal_fraction > 0:
+        rng = np.random.default_rng(seed)
+        k = int(diagonal_fraction * src.size)
+        rows = rng.integers(0, side - 1, size=k)
+        cols = rng.integers(0, side - 1, size=k)
+        src = np.concatenate([src, ids[rows, cols]])
+        dst = np.concatenate([dst, ids[rows + 1, cols + 1]])
+    return EdgeList(n, src, dst).symmetrized()
+
+
+def erdos_renyi(num_vertices: int, num_edges: int, *, seed: int = 0) -> EdgeList:
+    """Uniform random directed graph with (up to) ``num_edges`` distinct edges."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    return EdgeList(num_vertices, src, dst).without_self_loops().deduplicated()
+
+
+def path(num_vertices: int) -> EdgeList:
+    """Directed path 0 → 1 → ... → n-1."""
+    v = np.arange(num_vertices - 1, dtype=VID_DTYPE)
+    return EdgeList(num_vertices, v, v + 1)
+
+
+def cycle(num_vertices: int) -> EdgeList:
+    """Directed cycle on ``num_vertices`` vertices."""
+    v = np.arange(num_vertices, dtype=VID_DTYPE)
+    return EdgeList(num_vertices, v, (v + 1) % num_vertices)
+
+
+def star(num_leaves: int) -> EdgeList:
+    """Star: vertex 0 points at vertices 1..num_leaves."""
+    leaves = np.arange(1, num_leaves + 1, dtype=VID_DTYPE)
+    return EdgeList(num_leaves + 1, np.zeros(num_leaves, dtype=VID_DTYPE), leaves)
+
+
+def complete(num_vertices: int) -> EdgeList:
+    """Complete directed graph (no self loops)."""
+    grid = np.indices((num_vertices, num_vertices)).reshape(2, -1)
+    keep = grid[0] != grid[1]
+    return EdgeList(num_vertices, grid[0][keep], grid[1][keep])
+
+
+def paper_example() -> EdgeList:
+    """The 6-vertex, 14-edge example of the paper's Figure 1.
+
+    Reconstructed from the CSR layout printed in the figure:
+    ``index = [0, 5, 5, 6, 8, 9, 14]`` and
+    ``destinations = [1, 2, 3, 4, 5, 4, 4, 5, 5, 0, 1, 2, 3, 4]``.
+    """
+    index = [0, 5, 5, 6, 8, 9, 14]
+    destinations = [1, 2, 3, 4, 5, 4, 4, 5, 5, 0, 1, 2, 3, 4]
+    src = np.repeat(np.arange(6), np.diff(index)).astype(VID_DTYPE)
+    return EdgeList(6, src, np.array(destinations, dtype=VID_DTYPE))

@@ -1,0 +1,70 @@
+"""Edge-list persistence: whitespace text format and NumPy ``.npz``."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .._types import VID_DTYPE
+from ..errors import GraphFormatError
+from .edgelist import EdgeList
+
+__all__ = ["save_npz", "load_npz", "save_text", "load_text"]
+
+
+def save_npz(path: str | os.PathLike, edges: EdgeList) -> None:
+    """Save as a compressed ``.npz`` with ``num_vertices``, ``src``, ``dst``."""
+    np.savez_compressed(
+        path,
+        num_vertices=np.int64(edges.num_vertices),
+        src=edges.src,
+        dst=edges.dst,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> EdgeList:
+    """Load an edge list saved by :func:`save_npz`."""
+    with np.load(path) as data:
+        try:
+            return EdgeList(int(data["num_vertices"]), data["src"], data["dst"])
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: missing array {exc}") from None
+
+
+def save_text(path: str | os.PathLike, edges: EdgeList) -> None:
+    """Save in the common SNAP-style text format: header + one edge per line."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"# vertices {edges.num_vertices} edges {edges.num_edges}\n")
+        np.savetxt(fh, np.column_stack([edges.src, edges.dst]), fmt="%d")
+
+
+def load_text(path: str | os.PathLike) -> EdgeList:
+    """Load a SNAP-style text edge list.
+
+    If the file carries our ``# vertices N`` header, N is honoured;
+    otherwise |V| is inferred as ``max id + 1``.
+    """
+    num_vertices = -1
+    with open(path, encoding="ascii") as fh:
+        first = fh.readline()
+        rest_start = 0
+        if first.startswith("#"):
+            tokens = first.split()
+            if "vertices" in tokens:
+                num_vertices = int(tokens[tokens.index("vertices") + 1])
+            rest_start = len(first)
+    import warnings
+
+    with warnings.catch_warnings():
+        # Empty files legitimately decode to an empty graph.
+        warnings.filterwarnings("ignore", message=".*input contained no data.*")
+        pairs = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    del rest_start
+    if pairs.size == 0:
+        pairs = pairs.reshape(0, 2)
+    if pairs.shape[1] != 2:
+        raise GraphFormatError(f"{path}: expected two columns, got {pairs.shape[1]}")
+    if num_vertices < 0:
+        num_vertices = int(pairs.max()) + 1 if pairs.size else 0
+    return EdgeList(num_vertices, pairs[:, 0].astype(VID_DTYPE), pairs[:, 1].astype(VID_DTYPE))

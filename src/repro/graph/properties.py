@@ -1,0 +1,46 @@
+"""Whole-graph structural statistics (Table I style characterisation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .edgelist import EdgeList
+
+__all__ = ["GraphStats", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one graph."""
+
+    num_vertices: int
+    num_edges: int
+    max_out_degree: int
+    max_in_degree: int
+    mean_degree: float
+    zero_out_degree_vertices: int
+    zero_in_degree_vertices: int
+    is_symmetric: bool
+
+    def degree_skew(self) -> float:
+        """Max out-degree over mean degree — a quick skew indicator."""
+        return self.max_out_degree / self.mean_degree if self.mean_degree else 0.0
+
+
+def graph_stats(edges: EdgeList) -> GraphStats:
+    """Compute :class:`GraphStats` for ``edges``."""
+    out_deg = edges.out_degrees()
+    in_deg = edges.in_degrees()
+    n = edges.num_vertices
+    return GraphStats(
+        num_vertices=n,
+        num_edges=edges.num_edges,
+        max_out_degree=int(out_deg.max()) if n else 0,
+        max_in_degree=int(in_deg.max()) if n else 0,
+        mean_degree=edges.num_edges / n if n else 0.0,
+        zero_out_degree_vertices=int(np.count_nonzero(out_deg == 0)),
+        zero_in_degree_vertices=int(np.count_nonzero(in_deg == 0)),
+        is_symmetric=edges.is_symmetric(),
+    )

@@ -1,0 +1,60 @@
+"""Deterministic synthetic edge weights.
+
+Several of the paper's algorithms (Bellman-Ford, SPMV, BP) need edge
+weights, but the datasets are unweighted; like the original frameworks we
+attach synthetic weights.  Weights are computed as a *pure function of the
+endpoint pair* via a vectorised integer hash, so every layout — whichever
+order it stores edges in — sees identical weights without carrying a
+parallel weight array through each permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["edge_weights", "WeightFn"]
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser: a high-quality vectorised 64-bit mixer."""
+    x = x.astype(np.uint64)
+    with np.errstate(over="ignore"):
+        x = (x + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        x ^= x >> np.uint64(30)
+        x = (x * np.uint64(0xBF58476D1CE4E5B9)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        x ^= x >> np.uint64(27)
+        x = (x * np.uint64(0x94D049BB133111EB)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def edge_weights(
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    low: float = 1.0,
+    high: float = 2.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Weight of each edge ``(src[i], dst[i])`` in ``[low, high)``.
+
+    Deterministic in (endpoints, seed); independent of edge order.
+    """
+    with np.errstate(over="ignore"):
+        seed_mix = np.uint64(seed) * np.uint64(0xD6E8FEB86659FD93)
+        key = (src.astype(np.uint64) << np.uint64(32)) ^ dst.astype(np.uint64) ^ seed_mix
+    h = _splitmix64(key)
+    unit = h.astype(np.float64) / float(2**64)
+    return low + unit * (high - low)
+
+
+class WeightFn:
+    """A reusable ``(src, dst) -> weights`` callable with fixed range/seed."""
+
+    def __init__(self, low: float = 1.0, high: float = 2.0, seed: int = 0) -> None:
+        self.low = float(low)
+        self.high = float(high)
+        self.seed = int(seed)
+
+    def __call__(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        return edge_weights(src, dst, low=self.low, high=self.high, seed=self.seed)

@@ -1,0 +1,13 @@
+"""Partitioned graph layouts and the composite three-copy store."""
+
+from .coo import EDGE_ORDERS, PartitionedCOO
+from .pcsr import PartitionedCSR, RangedCSC
+from .store import GraphStore
+
+__all__ = [
+    "PartitionedCOO",
+    "PartitionedCSR",
+    "RangedCSC",
+    "GraphStore",
+    "EDGE_ORDERS",
+]

@@ -1,0 +1,42 @@
+"""NUMA placement model (paper §III.D).
+
+The paper allocates each graph partition on one NUMA domain, spreads
+partitions round-robin over the domains (always a multiple of 4 on its
+4-socket testbed) and lets only the cores attached to a domain process its
+partitions.  Frontier bitmaps and per-vertex attribute arrays live on the
+domain that updates them, so *writes* are always local; *reads* of source
+attributes may cross sockets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import MachineSpec
+
+__all__ = ["partition_domains", "remote_access_fraction", "threads_per_socket"]
+
+
+def partition_domains(num_partitions: int, machine: MachineSpec) -> np.ndarray:
+    """Home NUMA domain of each partition (round-robin, as in §III.D)."""
+    return np.arange(num_partitions, dtype=np.int64) % machine.sockets
+
+
+def threads_per_socket(num_threads: int, machine: MachineSpec) -> int:
+    """Threads pinned to each socket (spread uniformly, §IV.F)."""
+    return max(1, num_threads // machine.sockets)
+
+
+def remote_access_fraction(numa_aware: bool, machine: MachineSpec) -> float:
+    """Fraction of memory accesses served by a remote NUMA node.
+
+    NUMA-aware placement keeps updates local; only cross-socket reads of
+    source attributes remain, a small constant.  Without NUMA awareness
+    (Ligra's interleaved allocation) accesses hit a uniformly random node:
+    ``1 - 1/sockets`` of them are remote.
+    """
+    if machine.sockets <= 1:
+        return 0.0
+    if numa_aware:
+        return 0.15
+    return 1.0 - 1.0 / machine.sockets

@@ -1,0 +1,86 @@
+"""Modelled machine specification.
+
+Defaults describe the paper's testbed: a 4-socket Intel Xeon E7-4860 v2
+(12 cores/socket, 48 threads with hyperthreading disregarded), 256 GiB
+DRAM, 30 MiB shared L3 per socket, 64-byte cache lines.
+
+Because the reproduction runs scaled-down stand-in graphs, the *ratio* of
+vertex working set to cache capacity — the quantity that drives the
+paper's locality results — would be wildly off with the literal 30 MiB
+LLC.  :meth:`MachineSpec.scaled_for` builds a spec whose LLC capacity is
+scaled so that this ratio matches the paper's Twitter-on-E7 operating
+point, preserving curve shapes (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "PAPER_MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware parameters consumed by the cost model and cache simulator."""
+
+    sockets: int = 4
+    cores_per_socket: int = 12
+    dram_bytes: int = 256 * (1 << 30)
+    #: shared last-level cache per socket.
+    llc_bytes_per_socket: int = 30 * (1 << 20)
+    cache_line_bytes: int = 64
+    #: LLC associativity used by the set-associative simulator.
+    llc_associativity: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.sockets, self.cores_per_socket) < 1:
+            raise ValueError("sockets and cores_per_socket must be >= 1")
+        if self.cache_line_bytes < 1 or self.llc_bytes_per_socket < self.cache_line_bytes:
+            raise ValueError("invalid cache geometry")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        """Total hardware threads (hyperthreading disregarded, as in §IV)."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def llc_lines_per_socket(self) -> int:
+        """LLC capacity per socket in cache lines."""
+        return self.llc_bytes_per_socket // self.cache_line_bytes
+
+    @property
+    def total_llc_bytes(self) -> int:
+        """Aggregate LLC across all sockets."""
+        return self.sockets * self.llc_bytes_per_socket
+
+    def fits_in_memory(self, num_bytes: int) -> bool:
+        """Whether a data structure fits the modelled DRAM (the Fig. 5 wall)."""
+        return num_bytes <= self.dram_bytes
+
+    # ------------------------------------------------------------------
+    def scaled_for(
+        self,
+        num_vertices: int,
+        *,
+        bytes_per_vertex_state: int = 8,
+        paper_vertices: int = 41_700_000,
+    ) -> "MachineSpec":
+        """Spec with LLC scaled so working-set/cache ratios match the paper.
+
+        The paper's Twitter run keeps ``41.7M * 8 B = 334 MB`` of per-vertex
+        next-array state against ``4 x 30 MiB`` of LLC.  For a stand-in with
+        ``num_vertices`` vertices we shrink the LLC by the same vertex
+        ratio, flooring at 64 lines per socket.
+        """
+        ratio = num_vertices / paper_vertices
+        del bytes_per_vertex_state  # the ratio is per-vertex, size-independent
+        new_llc = max(
+            64 * self.cache_line_bytes, int(self.llc_bytes_per_socket * ratio)
+        )
+        new_dram = max(new_llc * self.sockets, int(self.dram_bytes * ratio))
+        return replace(self, llc_bytes_per_socket=new_llc, dram_bytes=new_dram)
+
+
+#: The paper's evaluation machine (§IV).
+PAPER_MACHINE = MachineSpec()

@@ -1,0 +1,32 @@
+"""Memory-system simulation: reuse distances, LRU caches, layout traces."""
+
+from .cache import CacheConfig, CacheResult, llc_config, simulate_cache
+from .fenwick import Fenwick
+from .multicore import MulticoreResult, simulate_shared_cache
+from .reuse import COLD, ReuseHistogram, reuse_histogram, stack_distances
+from .trace import (
+    interleave_traces,
+    next_array_trace,
+    partition_edge_traces,
+    partition_next_traces,
+    vertex_lines,
+)
+
+__all__ = [
+    "Fenwick",
+    "MulticoreResult",
+    "simulate_shared_cache",
+    "stack_distances",
+    "reuse_histogram",
+    "ReuseHistogram",
+    "COLD",
+    "CacheConfig",
+    "CacheResult",
+    "simulate_cache",
+    "llc_config",
+    "vertex_lines",
+    "next_array_trace",
+    "partition_next_traces",
+    "partition_edge_traces",
+    "interleave_traces",
+]

@@ -1,0 +1,116 @@
+"""Set-associative LRU cache simulation.
+
+Replays an address trace (in cache-line units) through a set-associative
+LRU cache and counts misses — the reproduction's stand-in for the LLC
+hardware counters behind the paper's Figure 8 (MPKI).
+
+The simulator is exact.  Each set keeps its lines in LRU order; lookups
+are O(associativity).  A fully-associative variant driven by the
+stack-distance histogram is available in :mod:`repro.memsim.reuse` when
+only miss counts for many capacities are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.spec import MachineSpec
+
+__all__ = ["CacheConfig", "CacheResult", "simulate_cache", "llc_config"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one simulated cache level."""
+
+    capacity_bytes: int
+    line_bytes: int = 64
+    associativity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < self.line_bytes:
+            raise ValueError("capacity must hold at least one line")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.num_sets * self.associativity * self.line_bytes != max(
+            self.capacity_bytes
+            // (self.associativity * self.line_bytes)
+            * self.associativity
+            * self.line_bytes,
+            self.associativity * self.line_bytes,
+        ):
+            pass  # capacity is floored to a whole number of sets below
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets (capacity floored to whole sets)."""
+        return max(1, self.capacity_bytes // (self.line_bytes * self.associativity))
+
+
+@dataclass(frozen=True)
+class CacheResult:
+    """Outcome of one trace replay."""
+
+    accesses: int
+    misses: int
+
+    @property
+    def hits(self) -> int:
+        """Number of accesses served by the cache."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction given an instruction count."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return self.misses / instructions * 1000.0
+
+
+def llc_config(machine: MachineSpec, *, sharing_cores: int = 1) -> CacheConfig:
+    """LLC slice available to a partition on ``machine``.
+
+    ``sharing_cores`` models how many concurrently active partitions share
+    the per-socket LLC (the cost model's cache-share logic).
+    """
+    return CacheConfig(
+        capacity_bytes=max(
+            machine.cache_line_bytes,
+            machine.llc_bytes_per_socket // max(1, sharing_cores),
+        ),
+        line_bytes=machine.cache_line_bytes,
+        associativity=machine.llc_associativity,
+    )
+
+
+def simulate_cache(line_trace: np.ndarray, config: CacheConfig) -> CacheResult:
+    """Replay ``line_trace`` (line addresses) through an LRU cache.
+
+    Exact set-associative LRU; each set's resident lines are kept in a
+    small most-recently-used-first list.
+    """
+    trace = np.asarray(line_trace, dtype=np.int64)
+    n = int(trace.size)
+    if n == 0:
+        return CacheResult(accesses=0, misses=0)
+    num_sets = config.num_sets
+    ways = config.associativity
+    sets = trace % num_sets
+    misses = 0
+    resident: list[list[int]] = [[] for _ in range(num_sets)]
+    for addr, s in zip(trace.tolist(), sets.tolist()):
+        lines = resident[s]
+        try:
+            lines.remove(addr)
+        except ValueError:
+            misses += 1
+            if len(lines) >= ways:
+                lines.pop()
+        lines.insert(0, addr)
+    return CacheResult(accesses=n, misses=misses)

@@ -1,0 +1,43 @@
+"""Fenwick (binary indexed) tree over positions, used by the exact
+LRU stack-distance algorithm (Bennett–Kruskal)."""
+
+from __future__ import annotations
+
+__all__ = ["Fenwick"]
+
+
+class Fenwick:
+    """Point-update / prefix-sum tree over ``size`` integer slots."""
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.size = size
+        self.tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` at position ``index`` (0-based)."""
+        tree = self.tree
+        i = index + 1
+        n = self.size
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of positions ``0..index`` inclusive (0 for index < 0)."""
+        tree = self.tree
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of positions ``lo..hi`` inclusive."""
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)

@@ -1,0 +1,119 @@
+"""Memory-trace generation from graph layouts.
+
+These functions emit the address streams (in cache-line units) that a C
+implementation of each traversal would issue against the per-vertex data
+arrays — the *next* arrays (frontier bitmap + attributes of destinations,
+randomly accessed in forward traversals) and the *current* arrays (source
+attributes).  Reuse-distance analysis and cache simulation of these
+streams reproduce the paper's locality measurements (Figures 2 and 8)
+without hardware counters: the access *order* is a property of the layout,
+which we reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.coo import PartitionedCOO
+from ..layout.pcsr import PartitionedCSR
+
+__all__ = [
+    "vertex_lines",
+    "next_array_trace",
+    "partition_next_traces",
+    "partition_edge_traces",
+    "interleave_traces",
+]
+
+#: bytes of per-vertex state behind each access (attribute value).
+BYTES_PER_VALUE = 8
+
+
+def vertex_lines(
+    vertex_ids: np.ndarray,
+    *,
+    bytes_per_value: int = BYTES_PER_VALUE,
+    line_bytes: int = 64,
+) -> np.ndarray:
+    """Cache-line address touched by each per-vertex access."""
+    return vertex_ids.astype(np.int64) * bytes_per_value // line_bytes
+
+
+def next_array_trace(
+    coo: PartitionedCOO,
+    *,
+    active: np.ndarray | None = None,
+    line_bytes: int = 64,
+) -> np.ndarray:
+    """Next-array (destination) access stream of a full forward traversal.
+
+    Partitions are traversed in order, edges in the layout's storage order
+    — exactly the stream whose reuse distances Figure 2 plots.  ``active``
+    optionally masks to edges with an active source (sparse frontiers).
+    """
+    dst = coo.dst
+    if active is not None:
+        dst = dst[np.asarray(active, dtype=bool)[coo.src]]
+    return vertex_lines(dst, line_bytes=line_bytes)
+
+
+def partition_next_traces(
+    coo: PartitionedCOO,
+    *,
+    active: np.ndarray | None = None,
+    line_bytes: int = 64,
+) -> list[np.ndarray]:
+    """Per-partition next-array streams (each partition runs on one core)."""
+    out = []
+    for i in range(coo.num_partitions):
+        src, dst = coo.partition_edges(i)
+        if active is not None:
+            dst = dst[np.asarray(active, dtype=bool)[src]]
+        out.append(vertex_lines(dst, line_bytes=line_bytes))
+    return out
+
+
+def interleave_traces(a: np.ndarray, b: np.ndarray, *, b_offset: int) -> np.ndarray:
+    """Interleave two equal-length streams (read src, write dst per edge).
+
+    ``b_offset`` shifts the second stream's line addresses so the two
+    arrays do not alias (they are distinct allocations on the machine).
+    """
+    if a.shape != b.shape:
+        raise ValueError("streams must have equal length")
+    out = np.empty(a.size * 2, dtype=np.int64)
+    out[0::2] = a
+    out[1::2] = b + b_offset
+    return out
+
+
+def partition_edge_traces(
+    layout: PartitionedCOO | PartitionedCSR,
+    *,
+    active: np.ndarray | None = None,
+    line_bytes: int = 64,
+    bytes_per_value: int = BYTES_PER_VALUE,
+) -> list[np.ndarray]:
+    """Per-partition interleaved (source-read, destination-write) streams.
+
+    Works for both the COO layout and the partitioned CSR (whose edge
+    order within a partition is CSR order).  This is the trace behind the
+    MPKI experiment (Figure 8).
+    """
+    num_vertices = layout.num_vertices
+    offset = (num_vertices * bytes_per_value) // line_bytes + 1
+    traces = []
+    if isinstance(layout, PartitionedCOO):
+        pairs = (layout.partition_edges(i) for i in range(layout.num_partitions))
+    else:
+        pairs = (
+            (part.edge_sources(), part.edge_destinations()) for part in layout.parts
+        )
+    for src, dst in pairs:
+        if active is not None:
+            keep = np.asarray(active, dtype=bool)[src]
+            src, dst = src[keep], dst[keep]
+        s = vertex_lines(src, bytes_per_value=bytes_per_value, line_bytes=line_bytes)
+        d = vertex_lines(dst, bytes_per_value=bytes_per_value, line_bytes=line_bytes)
+        traces.append(interleave_traces(s, d, b_offset=offset))
+    return traces

@@ -1,0 +1,66 @@
+"""Partitioning by destination (paper §II.B, Algorithm 1).
+
+All in-edges of a vertex are assigned to the vertex's *home partition*.
+The home partition is decided by walking vertices in id order and cutting
+when the running edge count reaches ``|E| / P`` (edge-balanced), or by
+splitting the vertex range evenly (vertex-balanced, used by the paper for
+vertex-oriented algorithms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.edgelist import EdgeList
+from .vertex_partition import VertexPartition
+
+__all__ = [
+    "partition_by_destination",
+    "edge_partition_ids",
+    "edges_per_partition",
+]
+
+
+def partition_by_destination(
+    edges: EdgeList,
+    num_partitions: int,
+    *,
+    balance: str = "edges",
+) -> VertexPartition:
+    """Compute the home-partition ranges for partitioning by destination.
+
+    Parameters
+    ----------
+    edges:
+        The graph.
+    num_partitions:
+        ``P``, number of partitions.
+    balance:
+        ``"edges"`` — Algorithm 1: each partition receives ≈ ``|E|/P``
+        in-edges (used for edge-oriented algorithms and the COO layout).
+        ``"vertices"`` — each partition receives ≈ ``|V|/P`` vertices
+        (used for vertex-oriented algorithms).
+    """
+    if num_partitions < 1:
+        raise PartitionError("num_partitions must be >= 1")
+    if num_partitions > max(edges.num_vertices, 1):
+        raise PartitionError(
+            f"cannot create {num_partitions} partitions over {edges.num_vertices} vertices"
+        )
+    if balance == "edges":
+        return VertexPartition.from_weights(edges.in_degrees(), num_partitions)
+    if balance == "vertices":
+        return VertexPartition.equal_vertices(edges.num_vertices, num_partitions)
+    raise ValueError(f"unknown balance criterion {balance!r}")
+
+
+def edge_partition_ids(edges: EdgeList, partition: VertexPartition) -> np.ndarray:
+    """Partition id of every edge (the home partition of its destination)."""
+    return partition.partition_of(edges.dst)
+
+
+def edges_per_partition(edges: EdgeList, partition: VertexPartition) -> np.ndarray:
+    """Number of edges assigned to each partition."""
+    pid = edge_partition_ids(edges, partition)
+    return np.bincount(pid, minlength=partition.num_partitions).astype(np.int64)

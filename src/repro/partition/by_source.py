@@ -1,0 +1,43 @@
+"""Partitioning by source (paper §II.B, equation 2).
+
+All out-edges of a vertex are assigned to the vertex's home partition.
+The paper does not pursue this scheme (it penalises the common forward
+traversals the same way partitioning-by-destination penalises backward
+ones) but defines it; we provide it for completeness and for the
+symmetric locality experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.edgelist import EdgeList
+from .vertex_partition import VertexPartition
+
+__all__ = ["partition_by_source", "edge_partition_ids_by_source"]
+
+
+def partition_by_source(
+    edges: EdgeList,
+    num_partitions: int,
+    *,
+    balance: str = "edges",
+) -> VertexPartition:
+    """Compute home-partition ranges for partitioning by source."""
+    if num_partitions < 1:
+        raise PartitionError("num_partitions must be >= 1")
+    if num_partitions > max(edges.num_vertices, 1):
+        raise PartitionError(
+            f"cannot create {num_partitions} partitions over {edges.num_vertices} vertices"
+        )
+    if balance == "edges":
+        return VertexPartition.from_weights(edges.out_degrees(), num_partitions)
+    if balance == "vertices":
+        return VertexPartition.equal_vertices(edges.num_vertices, num_partitions)
+    raise ValueError(f"unknown balance criterion {balance!r}")
+
+
+def edge_partition_ids_by_source(edges: EdgeList, partition: VertexPartition) -> np.ndarray:
+    """Partition id of every edge (the home partition of its source)."""
+    return partition.partition_of(edges.src)

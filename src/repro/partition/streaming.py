@@ -1,0 +1,167 @@
+"""Streaming graph partitioners (extension; related work §V).
+
+The paper dismisses heavyweight partitioners ("generic tools such as
+METIS ... take much more time to compute than many graph algorithms",
+§V) in favour of Algorithm 1's single-pass cut.  The standard middle
+ground in the literature is *streaming* partitioning — one pass over the
+edges with a greedy placement rule:
+
+* :func:`ldg_partition` — Linear Deterministic Greedy (Stanton &
+  Kliot, KDD'12): place each vertex in the partition holding most of its
+  already-placed neighbours, damped by a capacity penalty;
+* :func:`fennel_partition` — FENNEL (Tsourakakis et al., WSDM'14): the
+  same greedy with an additive ``alpha * gamma * size^(gamma-1)`` cost in
+  place of LDG's multiplicative penalty.
+
+Unlike Algorithm 1, these produce *non-contiguous* vertex assignments, so
+they cannot drive the contiguous-range layouts directly; they exist to
+quantify the trade-off: better edge cut, at the cost of partitioning time
+and the loss of the contiguous-range representation (a
+:class:`~repro.partition.vertex_partition.VertexPartition` is two words
+per boundary; an arbitrary assignment is a full |V| map).  The ablation
+benchmark compares edge cut, balance and compute time against
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._types import VID_DTYPE
+from ..errors import PartitionError
+from ..graph.csr import build_csr
+from ..graph.edgelist import EdgeList
+from .vertex_partition import VertexPartition
+
+__all__ = [
+    "StreamingAssignment",
+    "ldg_partition",
+    "fennel_partition",
+    "assignment_from_ranges",
+    "edge_cut_fraction",
+]
+
+
+@dataclass(frozen=True)
+class StreamingAssignment:
+    """An arbitrary (non-contiguous) vertex→partition map."""
+
+    num_partitions: int
+    assignment: np.ndarray  # partition id per vertex
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.assignment, dtype=VID_DTYPE)
+        object.__setattr__(self, "assignment", a)
+        if a.size and (int(a.min()) < 0 or int(a.max()) >= self.num_partitions):
+            raise PartitionError("assignment ids out of range")
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of assigned vertices."""
+        return int(self.assignment.size)
+
+    def sizes(self) -> np.ndarray:
+        """Vertex count per partition."""
+        return np.bincount(self.assignment, minlength=self.num_partitions)
+
+    def balance(self) -> float:
+        """Max partition size over the ideal size (1.0 = perfect)."""
+        sizes = self.sizes()
+        ideal = self.num_vertices / self.num_partitions
+        return float(sizes.max()) / ideal if ideal else 1.0
+
+
+def assignment_from_ranges(partition: VertexPartition) -> StreamingAssignment:
+    """View a contiguous-range partition as a generic assignment."""
+    return StreamingAssignment(
+        num_partitions=partition.num_partitions,
+        assignment=partition.partition_of(np.arange(partition.num_vertices)),
+    )
+
+
+def edge_cut_fraction(edges: EdgeList, assignment: StreamingAssignment) -> float:
+    """Fraction of edges whose endpoints land in different partitions."""
+    if edges.num_edges == 0:
+        return 0.0
+    a = assignment.assignment
+    return float(np.count_nonzero(a[edges.src] != a[edges.dst])) / edges.num_edges
+
+
+def _greedy_stream(
+    edges: EdgeList,
+    num_partitions: int,
+    score_fn,
+    *,
+    order: np.ndarray | None = None,
+) -> StreamingAssignment:
+    """Shared one-pass greedy: place vertices by ``score_fn``.
+
+    ``score_fn(neighbour_counts, sizes)`` returns per-partition scores;
+    the vertex goes to the argmax (ties to the smaller partition).
+    """
+    if num_partitions < 1:
+        raise PartitionError("num_partitions must be >= 1")
+    n = edges.num_vertices
+    csr = build_csr(edges.symmetrized()) if n else None
+    assignment = np.full(n, -1, dtype=np.int64)
+    sizes = np.zeros(num_partitions, dtype=np.float64)
+    stream = order if order is not None else np.arange(n)
+    for v in stream:
+        v = int(v)
+        nbrs = csr.neighbors_of(v)
+        placed = assignment[nbrs]
+        placed = placed[placed >= 0]
+        counts = np.bincount(placed, minlength=num_partitions).astype(np.float64)
+        scores = score_fn(counts, sizes)
+        # argmax with ties broken toward the emptier partition.
+        best = np.flatnonzero(scores == scores.max())
+        target = int(best[np.argmin(sizes[best])])
+        assignment[v] = target
+        sizes[target] += 1.0
+    return StreamingAssignment(num_partitions, assignment.astype(VID_DTYPE))
+
+
+def ldg_partition(
+    edges: EdgeList,
+    num_partitions: int,
+    *,
+    capacity_slack: float = 1.1,
+    order: np.ndarray | None = None,
+) -> StreamingAssignment:
+    """Linear Deterministic Greedy streaming partitioning.
+
+    Score: ``|N(v) ∩ P_i| * (1 - size_i / C)`` with per-partition capacity
+    ``C = slack * |V| / k``.
+    """
+    if num_partitions < 1:
+        raise PartitionError("num_partitions must be >= 1")
+    capacity = max(capacity_slack * edges.num_vertices / num_partitions, 1.0)
+
+    def score(counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        return counts * np.maximum(1.0 - sizes / capacity, 0.0)
+
+    return _greedy_stream(edges, num_partitions, score, order=order)
+
+
+def fennel_partition(
+    edges: EdgeList,
+    num_partitions: int,
+    *,
+    gamma: float = 1.5,
+    order: np.ndarray | None = None,
+) -> StreamingAssignment:
+    """FENNEL streaming partitioning.
+
+    Score: ``|N(v) ∩ P_i| - alpha * gamma * size_i^(gamma-1)`` with the
+    paper's ``alpha = m * k^(gamma-1) / n^gamma``.
+    """
+    n = max(edges.num_vertices, 1)
+    m = max(edges.num_edges, 1)
+    alpha = m * num_partitions ** (gamma - 1.0) / n**gamma
+
+    def score(counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        return counts - alpha * gamma * np.power(sizes, gamma - 1.0)
+
+    return _greedy_stream(edges, num_partitions, score, order=order)

@@ -1,0 +1,96 @@
+"""Betweenness centrality correctness against networkx (Brandes)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.bc import betweenness
+from repro.core import Engine, EngineOptions
+from repro.graph import generators as gen
+from repro.graph.edgelist import EdgeList
+from repro.layout import GraphStore
+
+
+def _all_sources_total(graph, partitions=4):
+    store = GraphStore.build(graph, num_partitions=partitions)
+    eng = Engine(store)
+    teng = Engine(store.transposed())
+    total = np.zeros(graph.num_vertices)
+    for s in range(graph.num_vertices):
+        total += betweenness(eng, s, transposed_engine=teng).dep
+    return total
+
+
+def _nx_bc(graph):
+    G = nx.DiGraph(graph.to_pairs())
+    G.add_nodes_from(range(graph.num_vertices))
+    return nx.betweenness_centrality(G, normalized=False)
+
+
+def test_diamond_graph():
+    g = EdgeList.from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    total = _all_sources_total(g, partitions=2)
+    assert total.tolist() == [0.0, 0.5, 0.5, 0.0]
+
+
+def test_path_graph():
+    g = gen.path(5)
+    total = _all_sources_total(g, partitions=1)
+    # Middle vertices relay more shortest paths.
+    assert total.tolist() == [0.0, 3.0, 4.0, 3.0, 0.0]
+
+
+def test_matches_networkx_small_rmat():
+    g = gen.rmat(5, 4.0, seed=1)
+    total = _all_sources_total(g)
+    expected = _nx_bc(g)
+    assert max(abs(total[v] - expected[v]) for v in range(g.num_vertices)) < 1e-9
+
+
+def test_matches_networkx_symmetric():
+    g = gen.rmat(5, 3.0, seed=8).symmetrized()
+    total = _all_sources_total(g)
+    expected = _nx_bc(g)
+    assert max(abs(total[v] - expected[v]) for v in range(g.num_vertices)) < 1e-9
+
+
+def test_sigma_counts_shortest_paths():
+    g = EdgeList.from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    store = GraphStore.build(g, num_partitions=1)
+    r = betweenness(Engine(store), 0)
+    assert r.sigma.tolist() == [1.0, 1.0, 1.0, 2.0]
+    assert r.level.tolist() == [0, 1, 1, 2]
+
+
+def test_source_dependency_zeroed():
+    g = gen.star(4)
+    r = betweenness(Engine(GraphStore.build(g, num_partitions=1)), 0)
+    assert r.dep[0] == 0.0
+
+
+def test_source_validation(engine):
+    with pytest.raises(ValueError):
+        betweenness(engine, engine.num_vertices + 5)
+
+
+def test_reuses_supplied_transposed_engine(small_rmat):
+    store = GraphStore.build(small_rmat, num_partitions=4)
+    eng = Engine(store)
+    teng = Engine(store.transposed())
+    r1 = betweenness(eng, 0, transposed_engine=teng)
+    r2 = betweenness(eng, 0)  # builds its own transpose
+    assert np.allclose(r1.dep, r2.dep)
+
+
+def test_same_result_across_layouts():
+    g = gen.rmat(5, 4.0, seed=2)
+    src = int(np.argmax(g.out_degrees()))
+    results = []
+    for layout in (None, "coo", "csc"):
+        store = GraphStore.build(g, num_partitions=4)
+        opts = EngineOptions(num_threads=4, forced_layout=layout)
+        eng = Engine(store, opts)
+        teng = Engine(store.transposed(), opts)
+        results.append(betweenness(eng, src, transposed_engine=teng).dep)
+    for other in results[1:]:
+        assert np.allclose(results[0], other)

@@ -1,0 +1,87 @@
+"""Bellman-Ford correctness against networkx Dijkstra."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.bellman_ford import bellman_ford
+from repro.core import Engine, EngineOptions
+from repro.graph import generators as gen
+from repro.graph.weights import WeightFn
+from repro.layout import GraphStore
+
+
+def _nx_weighted(graph, wf):
+    G = nx.DiGraph()
+    G.add_nodes_from(range(graph.num_vertices))
+    w = wf(graph.src, graph.dst)
+    for (u, v), weight in zip(graph.to_pairs(), w):
+        G.add_edge(u, v, weight=float(weight))
+    return G
+
+
+def test_matches_dijkstra(small_rmat, engine):
+    wf = WeightFn(seed=5)
+    src = int(np.argmax(engine.store.out_degrees))
+    r = bellman_ford(engine, src, weight_fn=wf)
+    expected = nx.single_source_dijkstra_path_length(
+        _nx_weighted(small_rmat, wf), src
+    )
+    for v, d in expected.items():
+        assert r.dist[v] == pytest.approx(d)
+    assert int(r.reached().sum()) == len(expected)
+
+
+def test_unreached_infinite(small_rmat, engine):
+    src = int(np.argmax(engine.store.out_degrees))
+    r = bellman_ford(engine, src)
+    assert np.all(np.isinf(r.dist[~r.reached()]))
+
+
+def test_source_distance_zero(engine):
+    src = 0
+    r = bellman_ford(engine, src)
+    assert r.dist[src] == 0.0
+
+
+def test_triangle_inequality_at_fixpoint(small_rmat, engine):
+    wf = WeightFn(seed=5)
+    src = int(np.argmax(engine.store.out_degrees))
+    r = bellman_ford(engine, src, weight_fn=wf)
+    w = wf(small_rmat.src, small_rmat.dst)
+    du = r.dist[small_rmat.src]
+    dv = r.dist[small_rmat.dst]
+    finite = np.isfinite(du)
+    assert np.all(dv[finite] <= du[finite] + w[finite] + 1e-12)
+
+
+def test_path_graph_distances():
+    g = gen.path(6)
+    wf = WeightFn(low=1.0, high=1.0 + 1e-12)  # effectively unit weights
+    eng = Engine(GraphStore.build(g, num_partitions=1))
+    r = bellman_ford(eng, 0, weight_fn=wf)
+    assert np.allclose(r.dist, np.arange(6), atol=1e-6)
+
+
+def test_road_graph(road):
+    wf = WeightFn(seed=2)
+    eng = Engine(GraphStore.build(road, num_partitions=4))
+    r = bellman_ford(eng, 0, weight_fn=wf)
+    expected = nx.single_source_dijkstra_path_length(_nx_weighted(road, wf), 0)
+    assert max(abs(r.dist[v] - d) for v, d in expected.items()) < 1e-9
+
+
+def test_source_validation(engine):
+    with pytest.raises(ValueError):
+        bellman_ford(engine, -2)
+
+
+def test_same_result_across_layouts(small_rmat):
+    src = int(np.argmax(small_rmat.out_degrees()))
+    results = []
+    for layout in (None, "coo", "csc"):
+        store = GraphStore.build(small_rmat, num_partitions=6)
+        eng = Engine(store, EngineOptions(num_threads=4, forced_layout=layout))
+        results.append(bellman_ford(eng, src).dist)
+    for other in results[1:]:
+        assert np.allclose(results[0], other, equal_nan=True)

@@ -1,0 +1,99 @@
+"""BFS correctness against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.core import Engine, EngineOptions
+from repro.graph import generators as gen
+from repro.layout import GraphStore
+
+
+def _nx(graph):
+    G = nx.DiGraph(graph.to_pairs())
+    G.add_nodes_from(range(graph.num_vertices))
+    return G
+
+
+def test_levels_match_networkx(small_rmat, engine):
+    src = int(np.argmax(engine.store.out_degrees))
+    r = bfs(engine, src)
+    expected = nx.single_source_shortest_path_length(_nx(small_rmat), src)
+    for v, d in expected.items():
+        assert r.level[v] == d
+    assert int(r.reached().sum()) == len(expected)
+
+
+def test_unreached_marked(small_rmat, engine):
+    src = int(np.argmax(engine.store.out_degrees))
+    r = bfs(engine, src)
+    unreached = ~r.reached()
+    assert np.all(r.level[unreached] == -1)
+    assert np.all(r.parent[unreached] == -1)
+
+
+def test_parent_pointers_form_tree(small_rmat, engine):
+    src = int(np.argmax(engine.store.out_degrees))
+    r = bfs(engine, src)
+    assert r.parent[src] == src
+    reached = np.flatnonzero(r.reached())
+    for v in reached:
+        if v == src:
+            continue
+        p = int(r.parent[v])
+        # Parent is reached, one level up, and the edge (p, v) exists.
+        assert r.level[p] == r.level[v] - 1
+        assert (p, int(v)) in set(small_rmat.to_pairs())
+
+
+def test_rounds_equals_eccentricity(small_rmat, engine):
+    src = int(np.argmax(engine.store.out_degrees))
+    r = bfs(engine, src)
+    assert r.rounds == r.level.max() + 1
+
+
+def test_path_graph_levels():
+    g = gen.path(10)
+    eng = Engine(GraphStore.build(g, num_partitions=2))
+    r = bfs(eng, 0)
+    assert r.level.tolist() == list(range(10))
+
+
+def test_road_graph(road):
+    eng = Engine(GraphStore.build(road, num_partitions=4))
+    r = bfs(eng, 0)
+    expected = nx.single_source_shortest_path_length(_nx(road), 0)
+    assert all(r.level[v] == d for v, d in expected.items())
+
+
+def test_source_out_of_range(engine):
+    with pytest.raises(ValueError):
+        bfs(engine, -1)
+    with pytest.raises(ValueError):
+        bfs(engine, engine.num_vertices)
+
+
+def test_isolated_source():
+    g = gen.star(3)  # vertex 3 has no out-edges
+    eng = Engine(GraphStore.build(g, num_partitions=1))
+    r = bfs(eng, 3)
+    assert r.level.tolist() == [-1, -1, -1, 0]
+    assert r.rounds == 1
+
+
+def test_same_result_across_layouts(small_rmat):
+    src = int(np.argmax(small_rmat.out_degrees()))
+    levels = []
+    for layout in (None, "coo", "csc", "pcsr"):
+        store = GraphStore.build(small_rmat, num_partitions=6)
+        eng = Engine(store, EngineOptions(num_threads=4, forced_layout=layout))
+        levels.append(bfs(eng, src).level)
+    for other in levels[1:]:
+        assert np.array_equal(levels[0], other)
+
+
+def test_stats_recorded(engine):
+    src = int(np.argmax(engine.store.out_degrees))
+    r = bfs(engine, src)
+    assert r.stats.num_iterations == r.rounds

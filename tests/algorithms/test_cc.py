@@ -1,0 +1,74 @@
+"""Connected components correctness against networkx."""
+
+import networkx as nx
+import numpy as np
+
+from repro.algorithms.cc import connected_components
+from repro.core import Engine, EngineOptions
+from repro.graph import generators as gen
+from repro.graph.edgelist import EdgeList
+from repro.layout import GraphStore
+
+
+def test_matches_networkx_on_symmetric(small_symmetric):
+    eng = Engine(GraphStore.build(small_symmetric, num_partitions=6))
+    r = connected_components(eng)
+    G = nx.Graph(small_symmetric.to_pairs())
+    G.add_nodes_from(range(small_symmetric.num_vertices))
+    for comp in nx.connected_components(G):
+        labels = {int(r.labels[v]) for v in comp}
+        assert len(labels) == 1, "component must share one label"
+        assert labels.pop() == min(comp), "label is the component minimum"
+    assert r.num_components() == nx.number_connected_components(G)
+
+
+def test_label_is_min_reachable_on_directed():
+    # 0 -> 1 -> 2, 3 isolated: labels are min over in-reachable set.
+    g = EdgeList.from_pairs(4, [(0, 1), (1, 2)])
+    eng = Engine(GraphStore.build(g, num_partitions=1))
+    r = connected_components(eng)
+    assert r.labels.tolist() == [0, 0, 0, 3]
+
+
+def test_two_components(road):
+    # Duplicate the road graph into two disjoint copies.
+    n = road.num_vertices
+    src = np.concatenate([road.src, road.src + n])
+    dst = np.concatenate([road.dst, road.dst + n])
+    g = EdgeList(2 * n, src, dst)
+    eng = Engine(GraphStore.build(g, num_partitions=4))
+    r = connected_components(eng)
+    assert r.num_components() == 2
+    assert np.all(r.labels[:n] == 0)
+    assert np.all(r.labels[n:] == n)
+
+
+def test_converges_and_counts_iterations(small_symmetric):
+    eng = Engine(GraphStore.build(small_symmetric, num_partitions=4))
+    r = connected_components(eng)
+    assert r.iterations >= 1
+    assert r.stats.num_iterations == r.iterations
+
+
+def test_max_iterations_cap(small_symmetric):
+    eng = Engine(GraphStore.build(small_symmetric, num_partitions=4))
+    r = connected_components(eng, max_iterations=1)
+    assert r.iterations == 1
+
+
+def test_same_labels_across_layouts(small_symmetric):
+    results = []
+    for layout in (None, "coo", "csc", "pcsr"):
+        store = GraphStore.build(small_symmetric, num_partitions=5)
+        eng = Engine(store, EngineOptions(num_threads=4, forced_layout=layout))
+        results.append(connected_components(eng).labels)
+    for other in results[1:]:
+        assert np.array_equal(results[0], other)
+
+
+def test_clique_single_component():
+    g = gen.complete(8)
+    eng = Engine(GraphStore.build(g, num_partitions=2))
+    r = connected_components(eng)
+    assert np.all(r.labels == 0)
+    assert r.num_components() == 1

@@ -1,0 +1,153 @@
+"""Library-completeness algorithms: k-core, triangles, MIS, radii."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    count_triangles,
+    estimate_radii,
+    kcore,
+    maximal_independent_set,
+)
+from repro.core import Engine, EngineOptions
+from repro.graph import generators as gen
+from repro.layout import GraphStore
+
+
+@pytest.fixture
+def sym_engine(small_symmetric):
+    return Engine(GraphStore.build(small_symmetric, num_partitions=6))
+
+
+def _nx_graph(edges):
+    G = nx.Graph(edges.to_pairs())
+    G.add_nodes_from(range(edges.num_vertices))
+    G.remove_edges_from(nx.selfloop_edges(G))
+    return G
+
+
+# ----------------------------------------------------------------------
+# k-core
+# ----------------------------------------------------------------------
+def test_kcore_matches_networkx(small_symmetric, sym_engine):
+    r = kcore(sym_engine)
+    expected = nx.core_number(_nx_graph(small_symmetric))
+    assert all(r.coreness[v] == c for v, c in expected.items())
+    assert r.max_core == max(expected.values())
+
+
+def test_kcore_on_clique():
+    g = gen.complete(6)
+    r = kcore(Engine(GraphStore.build(g, num_partitions=2)))
+    assert np.all(r.coreness == 5)
+
+
+def test_kcore_on_path():
+    g = gen.path(6).symmetrized()
+    r = kcore(Engine(GraphStore.build(g, num_partitions=1)))
+    assert np.all(r.coreness == 1)
+
+
+def test_kcore_members(sym_engine, small_symmetric):
+    r = kcore(sym_engine)
+    members = r.core_members(2)
+    assert np.all(r.coreness[members] >= 2)
+
+
+def test_kcore_max_k_cap(sym_engine):
+    r = kcore(sym_engine, max_k=1)
+    assert r.max_core <= 1
+
+
+# ----------------------------------------------------------------------
+# triangles
+# ----------------------------------------------------------------------
+def test_triangles_match_networkx(small_symmetric):
+    r = count_triangles(small_symmetric)
+    G = _nx_graph(small_symmetric)
+    expected = sum(nx.triangles(G).values()) // 3
+    assert r.total == expected
+    per = nx.triangles(G)
+    assert all(r.per_vertex[v] == t for v, t in per.items())
+
+
+def test_triangles_clique():
+    g = gen.complete(5)
+    r = count_triangles(g)
+    assert r.total == 10  # C(5,3)
+    assert np.all(r.per_vertex == 6)  # C(4,2)
+
+
+def test_triangles_triangle_free():
+    g = gen.path(8)
+    assert count_triangles(g).total == 0
+    star = gen.star(6)
+    assert count_triangles(star).total == 0
+
+
+def test_triangles_directed_input_symmetrised():
+    # A directed 3-cycle is one undirected triangle.
+    g = gen.cycle(3)
+    assert count_triangles(g).total == 1
+
+
+# ----------------------------------------------------------------------
+# maximal independent set
+# ----------------------------------------------------------------------
+def test_mis_is_independent_and_maximal(small_symmetric, sym_engine):
+    r = maximal_independent_set(sym_engine)
+    G = _nx_graph(small_symmetric)
+    chosen = set(np.flatnonzero(r.in_set).tolist())
+    for u, v in G.edges():
+        assert not (u in chosen and v in chosen), "set not independent"
+    for v in G:
+        if v not in chosen:
+            assert any(nb in chosen for nb in G.neighbors(v)), "set not maximal"
+
+
+def test_mis_isolated_vertices_always_in():
+    from repro.graph.edgelist import EdgeList
+
+    g = EdgeList(5, [0, 1], [1, 0])  # vertices 2,3,4 isolated
+    r = maximal_independent_set(Engine(GraphStore.build(g, num_partitions=1)))
+    assert r.in_set[[2, 3, 4]].all()
+
+
+def test_mis_deterministic(sym_engine):
+    a = maximal_independent_set(sym_engine, seed=3)
+    b = maximal_independent_set(sym_engine, seed=3)
+    assert np.array_equal(a.in_set, b.in_set)
+
+
+# ----------------------------------------------------------------------
+# radii
+# ----------------------------------------------------------------------
+def test_radii_lower_bounds_true_eccentricity(small_symmetric, sym_engine):
+    r = estimate_radii(sym_engine, num_batches=2, seed=4)
+    G = _nx_graph(small_symmetric)
+    giant = G.subgraph(max(nx.connected_components(G), key=len))
+    true_ecc = nx.eccentricity(giant)
+    for v, e in true_ecc.items():
+        assert r.eccentricity[v] <= e
+
+
+def test_radii_exact_when_all_sources(road):
+    """With every vertex a source, the estimate is exact on the giant
+    component."""
+    eng = Engine(GraphStore.build(road, num_partitions=4))
+    small = road.induced_subgraph(np.arange(36))  # 6x6 corner of the grid
+    eng_small = Engine(GraphStore.build(small, num_partitions=2))
+    r = estimate_radii(eng_small, num_batches=1, sources_per_batch=36, seed=0)
+    G = _nx_graph(small)
+    true_ecc = nx.eccentricity(G)
+    assert all(r.eccentricity[v] == e for v, e in true_ecc.items())
+    assert r.diameter == max(true_ecc.values())
+    assert r.radius == min(true_ecc.values())
+
+
+def test_radii_more_batches_tighter(sym_engine):
+    one = estimate_radii(sym_engine, num_batches=1, sources_per_batch=8, seed=5)
+    four = estimate_radii(sym_engine, num_batches=4, sources_per_batch=8, seed=5)
+    assert np.all(four.eccentricity >= one.eccentricity - 0)  # monotone union
+    assert four.diameter >= one.diameter

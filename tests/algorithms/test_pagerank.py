@@ -1,0 +1,77 @@
+"""PageRank correctness against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.core import Engine, EngineOptions
+from repro.frontier.density import DensityClass
+from repro.graph import generators as gen
+from repro.layout import GraphStore
+
+
+def test_matches_networkx(small_rmat, engine):
+    r = pagerank(engine, iterations=200, tolerance=1e-13)
+    G = nx.DiGraph(small_rmat.to_pairs())
+    G.add_nodes_from(range(small_rmat.num_vertices))
+    expected = nx.pagerank(G, alpha=0.85, max_iter=300, tol=1e-13)
+    got = r.ranks
+    assert max(abs(got[v] - expected[v]) for v in G) < 1e-9
+
+
+def test_ranks_sum_to_one(engine):
+    r = pagerank(engine, iterations=50)
+    assert r.ranks.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_ranks_positive(engine):
+    r = pagerank(engine, iterations=20)
+    assert np.all(r.ranks > 0)
+
+
+def test_fixed_iterations_default_ten(engine):
+    r = pagerank(engine)
+    assert r.iterations == 10
+    # PR keeps the frontier dense: every round is a dense edge map.
+    hist = r.stats.density_histogram()
+    assert hist[DensityClass.DENSE] == 10
+
+
+def test_early_stop_with_tolerance(engine):
+    r = pagerank(engine, iterations=500, tolerance=1e-10)
+    assert r.iterations < 500
+    assert r.last_delta < 1e-10
+
+
+def test_cycle_uniform_ranks():
+    g = gen.cycle(8)
+    eng = Engine(GraphStore.build(g, num_partitions=2))
+    r = pagerank(eng, iterations=100)
+    assert np.allclose(r.ranks, 1 / 8, atol=1e-9)
+
+
+def test_star_hub_receives_no_rank_mass():
+    # Star: leaves have no out-edges except via dangling redistribution.
+    g = gen.star(5)
+    eng = Engine(GraphStore.build(g, num_partitions=1))
+    r = pagerank(eng, iterations=100)
+    # Leaves all symmetric.
+    assert np.allclose(r.ranks[1:], r.ranks[1], atol=1e-12)
+
+
+def test_dangling_disabled_leaks_mass():
+    g = gen.star(5)
+    eng = Engine(GraphStore.build(g, num_partitions=1))
+    r = pagerank(eng, iterations=100, handle_dangling=False)
+    assert r.ranks.sum() < 1.0
+
+
+def test_same_result_across_layouts(small_rmat):
+    results = []
+    for layout in (None, "coo", "csc", "pcsr"):
+        store = GraphStore.build(small_rmat, num_partitions=6)
+        eng = Engine(store, EngineOptions(num_threads=4, forced_layout=layout))
+        results.append(pagerank(eng, iterations=10).ranks)
+    for other in results[1:]:
+        assert np.allclose(results[0], other, atol=1e-12)

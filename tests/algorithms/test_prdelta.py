@@ -1,0 +1,64 @@
+"""PageRankDelta correctness: must converge to the power-method vector."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.prdelta import pagerank_delta
+from repro.core import Engine, EngineOptions
+from repro.frontier.density import DensityClass
+from repro.graph import generators as gen
+from repro.layout import GraphStore
+
+
+def test_converges_to_power_method(small_rmat, engine):
+    exact = pagerank(engine, iterations=300, tolerance=1e-15, handle_dangling=False)
+    delta = pagerank_delta(engine, epsilon=1e-13, max_iterations=400)
+    assert np.abs(exact.ranks - delta.ranks).max() < 1e-10
+
+
+def test_frontier_shrinks_over_time(engine):
+    r = pagerank_delta(engine, epsilon=1e-6, max_iterations=200)
+    sizes = [s.frontier_size for s in r.stats.edge_maps]
+    assert sizes[0] == engine.num_vertices
+    assert sizes[-1] < sizes[0]
+
+
+def test_density_classes_decay(engine):
+    """The paper's PRDelta signature: dense rounds first, then medium,
+    then sparse as deltas die out."""
+    r = pagerank_delta(engine, epsilon=1e-6, max_iterations=200)
+    classes = [s.density for s in r.stats.edge_maps]
+    first_sparse = next(
+        (i for i, c in enumerate(classes) if c is DensityClass.SPARSE), len(classes)
+    )
+    # No dense round may follow the first sparse round.
+    assert all(c is not DensityClass.DENSE for c in classes[first_sparse:])
+    assert classes[0] is DensityClass.DENSE
+
+
+def test_larger_epsilon_fewer_iterations(engine):
+    loose = pagerank_delta(engine, epsilon=1e-3)
+    tight = pagerank_delta(engine, epsilon=1e-8)
+    assert loose.iterations <= tight.iterations
+
+
+def test_terminates_on_empty_frontier():
+    g = gen.path(6)
+    eng = Engine(GraphStore.build(g, num_partitions=1))
+    r = pagerank_delta(eng, epsilon=1e-9, max_iterations=1000)
+    assert r.iterations < 1000
+
+
+def test_max_iterations_respected(engine):
+    r = pagerank_delta(engine, epsilon=0.0 + 1e-300, max_iterations=3)
+    assert r.iterations <= 3
+
+
+def test_same_result_across_layouts(small_rmat):
+    results = []
+    for layout in (None, "coo"):
+        store = GraphStore.build(small_rmat, num_partitions=6)
+        eng = Engine(store, EngineOptions(num_threads=4, forced_layout=layout))
+        results.append(pagerank_delta(eng, epsilon=1e-10).ranks)
+    assert np.allclose(results[0], results[1], atol=1e-12)

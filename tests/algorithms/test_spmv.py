@@ -1,0 +1,79 @@
+"""SPMV correctness against scipy.sparse."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.algorithms.spmv import spmv
+from repro.core import Engine, EngineOptions
+from repro.graph.weights import WeightFn
+from repro.layout import GraphStore
+
+
+def _scipy_matrix(graph, wf):
+    w = wf(graph.src, graph.dst)
+    return sp.coo_matrix(
+        (w, (graph.dst, graph.src)),
+        shape=(graph.num_vertices, graph.num_vertices),
+    ).tocsr()
+
+
+def test_matches_scipy(small_rmat, engine, rng):
+    wf = WeightFn(seed=3)
+    x = rng.random(small_rmat.num_vertices)
+    got = spmv(engine, x, weight_fn=wf)
+    expected = _scipy_matrix(small_rmat, wf) @ x
+    assert np.allclose(got.y, expected)
+
+
+def test_default_vector_is_ones(small_rmat, engine):
+    wf = WeightFn()
+    got = spmv(engine, weight_fn=wf)
+    expected = _scipy_matrix(small_rmat, wf) @ np.ones(small_rmat.num_vertices)
+    assert np.allclose(got.y, expected)
+
+
+def test_zero_vector_gives_zero(engine):
+    got = spmv(engine, np.zeros(engine.num_vertices))
+    assert np.allclose(got.y, 0.0)
+
+
+def test_linearity(small_rmat, engine, rng):
+    wf = WeightFn(seed=1)
+    x1 = rng.random(small_rmat.num_vertices)
+    x2 = rng.random(small_rmat.num_vertices)
+    y1 = spmv(engine, x1, weight_fn=wf).y
+    y2 = spmv(engine, x2, weight_fn=wf).y
+    y12 = spmv(engine, 2 * x1 + 3 * x2, weight_fn=wf).y
+    assert np.allclose(y12, 2 * y1 + 3 * y2)
+
+
+def test_single_dense_iteration(engine):
+    r = spmv(engine)
+    assert r.stats.num_iterations == 1
+    assert r.stats.edge_maps[0].examined_edges == engine.num_edges
+
+
+def test_wrong_shape_rejected(engine):
+    with pytest.raises(ValueError):
+        spmv(engine, np.ones(engine.num_vertices + 1))
+
+
+def test_same_result_across_layouts(small_rmat, rng):
+    x = rng.random(small_rmat.num_vertices)
+    results = []
+    for layout in (None, "coo", "csc", "pcsr"):
+        store = GraphStore.build(small_rmat, num_partitions=6)
+        eng = Engine(store, EngineOptions(num_threads=4, forced_layout=layout))
+        results.append(spmv(eng, x).y)
+    for other in results[1:]:
+        assert np.allclose(results[0], other)
+
+
+def test_hilbert_order_same_result(small_rmat, rng):
+    x = rng.random(small_rmat.num_vertices)
+    base = spmv(Engine(GraphStore.build(small_rmat, num_partitions=4)), x).y
+    hil = spmv(
+        Engine(GraphStore.build(small_rmat, num_partitions=4, edge_order="hilbert")), x
+    ).y
+    assert np.allclose(base, hil)

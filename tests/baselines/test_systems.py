@@ -1,0 +1,77 @@
+"""Comparison-system configuration tests."""
+
+import pytest
+
+from repro.baselines.systems import (
+    SYSTEMS,
+    build_cost_model,
+    build_engine,
+    system_names,
+)
+from repro.frontier.density import DensityClass
+from repro.machine.spec import MachineSpec
+
+
+def test_four_systems_in_paper_order():
+    assert system_names() == ["ligra", "polymer", "gg1", "gg2"]
+
+
+def test_ligra_policy():
+    cfg = SYSTEMS["ligra"]
+    assert cfg.num_partitions == 1
+    assert not cfg.numa_aware
+    assert cfg.thresholds.medium == float('inf')  # two-way classification
+    assert cfg.sparse_layout == "csr"
+
+
+def test_polymer_policy():
+    cfg = SYSTEMS["polymer"]
+    assert cfg.num_partitions == 4  # one per NUMA node
+    assert cfg.numa_aware
+    assert cfg.sparse_layout == "pcsr"
+    assert cfg.balance == "vertices"
+
+
+def test_gg1_policy():
+    cfg = SYSTEMS["gg1"]
+    assert cfg.num_partitions == 4
+    assert cfg.balance is None  # defers to the algorithm (§III.D)
+    assert cfg.imbalance_discount < SYSTEMS["polymer"].imbalance_discount
+
+
+def test_gg2_policy():
+    cfg = SYSTEMS["gg2"]
+    assert cfg.num_partitions is None  # aggressive default (384)
+    assert cfg.thresholds.medium == pytest.approx(0.5)
+    assert cfg.sparse_layout == "csr"
+
+
+def test_build_engine_ligra_never_uses_coo(small_rmat):
+    from repro.algorithms.cc import connected_components
+
+    eng = build_engine(SYSTEMS["ligra"], small_rmat, num_threads=4)
+    r = connected_components(eng)
+    assert all(s.layout != "coo" for s in r.stats.edge_maps)
+
+
+def test_build_engine_gg2_uses_all_three(small_rmat):
+    from repro.algorithms.prdelta import pagerank_delta
+
+    eng = build_engine(SYSTEMS["gg2"], small_rmat, num_threads=4, default_partitions=8)
+    r = pagerank_delta(eng, epsilon=1e-6)
+    layouts = {s.layout for s in r.stats.edge_maps}
+    assert "coo" in layouts  # dense rounds stream the COO
+
+
+def test_build_engine_partition_cap(small_rmat):
+    eng = build_engine(SYSTEMS["gg2"], small_rmat, default_partitions=10**6)
+    assert eng.store.num_partitions <= small_rmat.num_vertices
+
+
+def test_build_cost_model_inherits_policy():
+    m = MachineSpec()
+    ligra = build_cost_model(SYSTEMS["ligra"], m)
+    gg2 = build_cost_model(SYSTEMS["gg2"], m)
+    assert not ligra.numa_aware
+    assert gg2.numa_aware
+    assert gg2.imbalance_discount < ligra.imbalance_discount

@@ -1,0 +1,116 @@
+"""Smoke tests for every figure driver at tiny scale."""
+
+import pytest
+
+from repro.bench import (
+    StoreCache,
+    ablation_thresholds,
+    fig5_partition_scaling,
+    fig6_small_graphs,
+    fig7_sort_order,
+    fig8_mpki,
+    table2_algorithms,
+)
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return StoreCache()
+
+
+def test_table2_render():
+    exp = table2_algorithms()
+    text = exp.render()
+    assert "PRDelta" in text
+    assert len(exp.rows) == 8
+
+
+def test_fig5_driver(cache):
+    out = fig5_partition_scaling(
+        dataset="twitter",
+        scale=SCALE,
+        algorithms=("PR",),
+        partition_counts=(4, 16, 64),
+        num_threads=8,
+        cache=cache,
+    )
+    exp = out["PR"]
+    assert exp.headers == ["partitions", "CSR+a", "CSC+na", "COO+na", "COO+a"]
+    assert len(exp.rows) == 3
+    # Below one partition per thread, the +na curve is undefined.
+    assert exp.rows[0][3] is None
+    # COO beyond the thread count improves on the 4-partition point.
+    assert exp.rows[-1][4] < exp.rows[0][4]
+
+
+def test_fig5_memory_wall(cache):
+    out = fig5_partition_scaling(
+        dataset="twitter",
+        scale=SCALE,
+        algorithms=("PR",),
+        partition_counts=(4, 480),
+        num_threads=8,
+        enforce_memory_wall=True,
+        cache=cache,
+    )
+    rows = out["PR"].rows
+    assert rows[0][1] is not None  # 4 partitions fit
+    assert rows[1][1] is None  # 480 partitions exceed the paper machine
+
+
+def test_fig6_driver(cache):
+    out = fig6_small_graphs(
+        graphs=("livejournal",),
+        algorithms=("BP",),
+        partition_counts=(4, 64),
+        scale=SCALE,
+        num_threads=8,
+        cache=cache,
+    )
+    exp = out[("livejournal", "BP")]
+    assert exp.headers[1] == "CSR+a"
+    assert all(row[1] is not None for row in exp.rows)  # no memory wall
+
+
+def test_fig7_driver(cache):
+    out = fig7_sort_order(
+        graphs=("twitter",),
+        algorithms=("PR", "CC"),
+        num_partitions=64,
+        scale=SCALE,
+        num_threads=8,
+        cache=cache,
+    )
+    exp = out["twitter"]
+    for row in exp.rows:
+        assert row[1] == 1.0  # normalised to source order
+        assert row[2] > 0 and row[3] > 0
+
+
+def test_fig8_driver(cache):
+    out = fig8_mpki(
+        graphs=("twitter",),
+        algorithms=("PR", "BFS"),
+        partition_counts=(4, 12),
+        scale=0.4,
+        cache=cache,
+    )
+    exp = out["twitter"]
+    pr = exp.column("PR")
+    # Partitioning reduces PR's MPKI (Figure 8's edge-oriented claim).
+    assert pr[-1] < pr[0]
+
+
+def test_ablation_thresholds_driver(cache):
+    exp = ablation_thresholds(
+        dataset="twitter",
+        algorithms=("PRDelta",),
+        scale=SCALE,
+        num_partitions=64,
+        num_threads=8,
+        cache=cache,
+    )
+    assert len(exp.rows) == 1
+    assert all(isinstance(v, float) for v in exp.rows[0][1:])

@@ -1,0 +1,83 @@
+"""Workbench / StoreCache harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import StoreCache, Workbench, force_atomics
+from repro.core.stats import RunStats
+from repro.machine.spec import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return StoreCache()
+
+
+@pytest.fixture(scope="module")
+def bench(cache):
+    return Workbench.for_dataset("twitter", scale=0.12, num_threads=8, cache=cache)
+
+
+def test_graph_memoised(cache):
+    a = cache.graph("twitter", scale=0.12)
+    b = cache.graph("twitter", scale=0.12)
+    assert a is b
+    c = cache.graph("twitter", scale=0.25)
+    assert c is not a
+
+
+def test_store_memoised(cache, bench):
+    a = cache.store(bench.edges, num_partitions=8)
+    b = cache.store(bench.edges, num_partitions=8)
+    assert a is b
+    c = cache.store(bench.edges, num_partitions=8, edge_order="hilbert")
+    assert c is not a
+
+
+def test_profile_memoised(cache, bench):
+    store = cache.store(bench.edges, num_partitions=8)
+    assert cache.profile(store) is cache.profile(store)
+
+
+def test_machine_scaled_to_dataset(bench):
+    paper = MachineSpec()
+    assert bench.machine.llc_bytes_per_socket < paper.llc_bytes_per_socket
+
+
+def test_run_layout_produces_positive_time(bench):
+    for layout in (None, "coo", "csc", "pcsr"):
+        t = bench.run_layout("PR", num_partitions=16, forced_layout=layout)
+        assert t > 0
+
+
+def test_atomics_on_never_faster(bench):
+    plain = bench.run_layout("PR", num_partitions=16, forced_layout="coo")
+    forced = bench.run_layout(
+        "PR", num_partitions=16, forced_layout="coo", atomics="on"
+    )
+    assert forced >= plain
+
+
+def test_run_system_all_four(bench):
+    times = {k: bench.run_system(k, "PR", default_partitions=32) for k in
+             ("ligra", "polymer", "gg1", "gg2")}
+    assert all(t > 0 for t in times.values())
+    assert times["gg2"] < times["ligra"]
+
+
+def test_force_atomics_copies(bench):
+    from repro.algorithms import pagerank
+    from repro.core import Engine
+
+    store = bench.cache.store(bench.edges, num_partitions=64)
+    r = pagerank(Engine(store))
+    forced = force_atomics(r.stats)
+    assert all(s.uses_atomics for s in forced.edge_maps)
+    # Original untouched.
+    assert isinstance(r.stats, RunStats)
+    assert any(not s.uses_atomics for s in r.stats.edge_maps)
+
+
+def test_stats_of_rejects_junk():
+    with pytest.raises(TypeError):
+        Workbench._stats_of(object())

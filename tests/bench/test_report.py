@@ -1,0 +1,42 @@
+"""Report rendering tests."""
+
+from repro.bench.report import format_value, render_kv, render_table
+
+
+def test_format_value():
+    assert format_value(None) == "-"
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(0.0) == "0"
+    assert format_value(3) == "3"
+    assert format_value(0.123456) == "0.1235"
+    assert format_value(1234567.0) == "1.235e+06"
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1], ["bb", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+    # All rows have equal width.
+    assert len({len(l) for l in lines[1:]}) == 1
+
+
+def test_render_table_handles_none():
+    text = render_table(["x"], [[None]])
+    assert "-" in text.splitlines()[-1]
+
+
+def test_render_kv():
+    text = render_kv({"alpha": 1, "beta_long": 2.5}, title="Params")
+    lines = text.splitlines()
+    assert lines[0] == "Params"
+    assert lines[1].startswith("alpha")
+    assert ": 1" in lines[1]
+    assert ": 2.5" in lines[2]
+
+
+def test_render_kv_empty():
+    assert render_kv({}) == ""

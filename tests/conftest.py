@@ -1,0 +1,53 @@
+"""Shared fixtures: small deterministic graphs, stores and engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Engine, EngineOptions
+from repro.graph import generators as gen
+from repro.graph.edgelist import EdgeList
+from repro.layout import GraphStore
+
+
+@pytest.fixture
+def paper_graph() -> EdgeList:
+    """The 6-vertex, 14-edge example of the paper's Figure 1."""
+    return gen.paper_example()
+
+
+@pytest.fixture
+def small_rmat() -> EdgeList:
+    """A ~250-vertex, ~1200-edge skewed directed graph."""
+    return gen.rmat(8, 6.0, seed=3)
+
+
+@pytest.fixture
+def small_symmetric(small_rmat) -> EdgeList:
+    """Symmetrised version of the small R-MAT graph."""
+    return small_rmat.symmetrized()
+
+
+@pytest.fixture
+def road() -> EdgeList:
+    """A 12x12 road lattice (symmetric, uniform degree, high diameter)."""
+    return gen.road_grid(12, seed=7)
+
+
+@pytest.fixture
+def small_store(small_rmat) -> GraphStore:
+    """Eight-partition store of the small R-MAT graph."""
+    return GraphStore.build(small_rmat, num_partitions=8)
+
+
+@pytest.fixture
+def engine(small_store) -> Engine:
+    """Engine over the small store with 4 simulated threads."""
+    return Engine(small_store, EngineOptions(num_threads=4))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded RNG for tests needing randomness."""
+    return np.random.default_rng(12345)

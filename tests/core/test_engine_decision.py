@@ -1,0 +1,128 @@
+"""Algorithm 2 dispatch: the engine must pick the layout the paper says."""
+
+import numpy as np
+import pytest
+
+from repro._types import VID_DTYPE
+from repro.algorithms.cc import CCOp
+from repro.core.engine import Engine
+from repro.core.options import EngineOptions
+from repro.frontier.density import DensityClass, DensityThresholds
+from repro.frontier.frontier import Frontier
+from repro.layout.store import GraphStore
+
+
+def _run(engine, frontier):
+    labels = np.arange(engine.num_vertices, dtype=VID_DTYPE)
+    engine.edge_map(frontier, CCOp(labels))
+    return engine.stats.edge_maps[-1]
+
+
+@pytest.fixture
+def store(small_rmat):
+    return GraphStore.build(small_rmat, num_partitions=8)
+
+
+def test_dense_goes_to_coo(store):
+    engine = Engine(store, EngineOptions(num_threads=4))
+    s = _run(engine, Frontier.full(store.num_vertices))
+    assert s.layout == "coo"
+    assert s.density is DensityClass.DENSE
+    assert s.direction == "forward"
+
+
+def test_sparse_goes_to_whole_csr(store):
+    engine = Engine(store, EngineOptions(num_threads=4))
+    # Pick low-out-degree sources so the metric stays below |E|/20.
+    deg = store.out_degrees
+    quiet = np.argsort(deg)[:2].astype(np.int32)
+    s = _run(engine, Frontier(store.num_vertices, sparse=quiet))
+    assert s.layout == "csr"
+    assert s.density is DensityClass.SPARSE
+    assert s.direction == "forward"
+    assert s.num_partitions == 1
+
+
+def test_medium_goes_to_csc_backward(store):
+    engine = Engine(store, EngineOptions(num_threads=4))
+    deg = store.out_degrees
+    order = np.argsort(deg)
+    # Accumulate vertices until the metric sits between 5% and 50%.
+    target_lo = store.num_edges / 20
+    target_hi = store.num_edges / 2
+    chosen, metric = [], 0
+    for v in order:
+        chosen.append(int(v))
+        metric += 1 + int(deg[v])
+        if metric > target_lo:
+            break
+    assert metric <= target_hi, "test graph unsuitable"
+    s = _run(engine, Frontier(store.num_vertices, sparse=np.array(chosen, dtype=np.int32)))
+    assert s.layout == "csc"
+    assert s.density is DensityClass.MEDIUM
+    assert s.direction == "backward"
+
+
+def test_forced_layout_overrides_decision(store):
+    engine = Engine(store, EngineOptions(num_threads=4, forced_layout="csc"))
+    s = _run(engine, Frontier.full(store.num_vertices))
+    assert s.layout == "csc"
+    assert s.density is DensityClass.DENSE  # classification still recorded
+
+
+def test_sparse_layout_option_pcsr(store):
+    engine = Engine(
+        store, EngineOptions(num_threads=4, sparse_layout="pcsr")
+    )
+    deg = store.out_degrees
+    quiet = np.argsort(deg)[:2].astype(np.int32)
+    s = _run(engine, Frontier(store.num_vertices, sparse=quiet))
+    assert s.layout == "pcsr"
+    assert s.density is DensityClass.SPARSE
+
+
+def test_two_way_thresholds_never_choose_coo(store):
+    ligra = Engine(
+        store,
+        EngineOptions(
+            num_threads=4, thresholds=DensityThresholds(sparse=1 / 20, medium=1.0)
+        ),
+    )
+    # A clearly >50% frontier still routes to CSC under the two-way scheme
+    # (unless the metric exceeds |E| itself, which full frontiers can).
+    deg = store.out_degrees
+    order = np.argsort(deg)
+    n80 = order[: int(0.8 * len(order))].astype(np.int32)
+    f = Frontier(store.num_vertices, sparse=n80)
+    if f.active_edge_metric(deg) <= store.num_edges:
+        s = _run(ligra, f)
+        assert s.layout == "csc"
+
+
+def test_atomics_flags(store):
+    # COO with P >= threads avoids atomics; with P < threads it cannot.
+    few_threads = Engine(store, EngineOptions(num_threads=4, forced_layout="coo"))
+    s = _run(few_threads, Frontier.full(store.num_vertices))
+    assert not s.uses_atomics  # 8 partitions >= 4 threads
+    many_threads = Engine(store, EngineOptions(num_threads=48, forced_layout="coo"))
+    s = _run(many_threads, Frontier.full(store.num_vertices))
+    assert s.uses_atomics  # 8 partitions < 48 threads
+    csc = Engine(store, EngineOptions(num_threads=48, forced_layout="csc"))
+    s = _run(csc, Frontier.full(store.num_vertices))
+    assert not s.uses_atomics  # backward traversal never needs them
+    pcsr = Engine(store, EngineOptions(num_threads=48, forced_layout="pcsr"))
+    s = _run(pcsr, Frontier.full(store.num_vertices))
+    assert s.uses_atomics  # 8 partitions < 48 threads
+    pcsr_wide = Engine(store, EngineOptions(num_threads=4, forced_layout="pcsr"))
+    s = _run(pcsr_wide, Frontier.full(store.num_vertices))
+    assert not s.uses_atomics  # one partition per thread: single writer
+
+
+def test_stats_counters_consistency(store):
+    engine = Engine(store, EngineOptions(num_threads=4))
+    s = _run(engine, Frontier.full(store.num_vertices))
+    assert s.examined_edges == store.num_edges
+    assert s.active_edges <= s.examined_edges
+    assert s.frontier_size == store.num_vertices
+    assert s.partition_examined is not None
+    assert s.partition_examined.sum() == s.examined_edges

@@ -1,0 +1,151 @@
+"""Kernel equivalence: every traversal layout must produce the same result
+as the edge-at-a-time reference executor, for every operator family."""
+
+import numpy as np
+import pytest
+
+from repro._types import NO_VERTEX, VID_DTYPE
+from repro.algorithms.bellman_ford import BellmanFordOp
+from repro.algorithms.bfs import BFSOp
+from repro.algorithms.cc import CCOp
+from repro.algorithms.pagerank import PageRankOp
+from repro.core.engine import Engine
+from repro.core.options import EngineOptions
+from repro.core.reference import reference_edge_map
+from repro.frontier.frontier import Frontier
+from repro.graph import generators as gen
+from repro.graph.weights import WeightFn
+from repro.layout.store import GraphStore
+
+LAYOUTS = ["pcsr", "csc", "coo"]
+
+
+def _engine(graph, layout, partitions=5):
+    store = GraphStore.build(graph, num_partitions=partitions)
+    return Engine(
+        store, EngineOptions(num_threads=4, forced_layout=layout)
+    )
+
+
+@pytest.fixture(params=["paper", "rmat", "road"])
+def graph(request, paper_graph, small_rmat, road):
+    return {"paper": paper_graph, "rmat": small_rmat, "road": road}[request.param]
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_cc_op_fixpoint_equivalence(graph, layout):
+    """CC's min-propagation is asynchronous within a round, so only the
+    fixpoint (not per-round state) is order-independent — chaotic
+    iteration of a monotone operator has a unique least fixpoint."""
+    labels_ref = np.arange(graph.num_vertices, dtype=VID_DTYPE)
+    labels_got = labels_ref.copy()
+    frontier = Frontier.full(graph.num_vertices)
+    while not frontier.is_empty:
+        frontier = reference_edge_map(graph, frontier, CCOp(labels_ref))
+    engine = _engine(graph, layout)
+    frontier = Frontier.full(graph.num_vertices)
+    while not frontier.is_empty:
+        frontier = engine.edge_map(frontier, CCOp(labels_got))
+    assert np.array_equal(labels_ref, labels_got)
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_pagerank_op_equivalence(graph, layout):
+    n = graph.num_vertices
+    deg = np.maximum(graph.out_degrees().astype(float), 1.0)
+    contrib = np.linspace(1, 2, n) / deg
+    accum_ref = np.zeros(n)
+    accum_got = np.zeros(n)
+    frontier = Frontier.full(n)
+    reference_edge_map(graph, frontier, PageRankOp(contrib, accum_ref))
+    _engine(graph, layout).edge_map(frontier, PageRankOp(contrib, accum_got))
+    assert np.allclose(accum_ref, accum_got)
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_bfs_op_equivalence_fixpoint(graph, layout):
+    """BFS parents may differ by tie-breaks, but levels/reachability and
+    the next frontier must agree."""
+    n = graph.num_vertices
+    src = int(np.argmax(graph.out_degrees()))
+    parent_ref = np.full(n, NO_VERTEX, dtype=VID_DTYPE)
+    parent_got = parent_ref.copy()
+    parent_ref[src] = src
+    parent_got[src] = src
+    frontier = Frontier.of(n, src)
+    ref_next = reference_edge_map(graph, frontier, BFSOp(parent_ref))
+    got_next = _engine(graph, layout).edge_map(frontier, BFSOp(parent_got))
+    assert ref_next == got_next
+    assert np.array_equal(parent_ref != NO_VERTEX, parent_got != NO_VERTEX)
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_bellman_ford_op_equivalence(graph, layout):
+    n = graph.num_vertices
+    src = int(np.argmax(graph.out_degrees()))
+    wf = WeightFn()
+    dist_ref = np.full(n, np.inf)
+    dist_got = dist_ref.copy()
+    dist_ref[src] = dist_got[src] = 0.0
+    frontier = Frontier.of(n, src)
+    ref_next = reference_edge_map(graph, frontier, BellmanFordOp(dist_ref, wf))
+    got_next = _engine(graph, layout).edge_map(frontier, BellmanFordOp(dist_got, wf))
+    assert ref_next == got_next
+    assert np.allclose(dist_ref, dist_got)
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_sparse_frontier_fixpoint_equivalence(small_rmat, layout):
+    labels_ref = np.arange(small_rmat.num_vertices, dtype=VID_DTYPE)
+    labels_got = labels_ref.copy()
+    frontier = Frontier.of(small_rmat.num_vertices, 0, 7, 13)
+    while not frontier.is_empty:
+        frontier = reference_edge_map(small_rmat, frontier, CCOp(labels_ref))
+    engine = _engine(small_rmat, layout)
+    frontier = Frontier.of(small_rmat.num_vertices, 0, 7, 13)
+    while not frontier.is_empty:
+        frontier = engine.edge_map(frontier, CCOp(labels_got))
+    assert np.array_equal(labels_ref, labels_got)
+
+
+@pytest.mark.parametrize("partitions", [1, 2, 7, 32])
+def test_partition_count_does_not_change_fixpoint(small_rmat, partitions):
+    results = []
+    for layout in LAYOUTS:
+        labels = np.arange(small_rmat.num_vertices, dtype=VID_DTYPE)
+        engine = _engine(small_rmat, layout, partitions)
+        frontier = Frontier.full(small_rmat.num_vertices)
+        while not frontier.is_empty:
+            frontier = engine.edge_map(frontier, CCOp(labels))
+        results.append(labels)
+    for other in results[1:]:
+        assert np.array_equal(results[0], other)
+
+
+def test_empty_frontier_returns_empty(engine):
+    labels = np.arange(engine.num_vertices, dtype=VID_DTYPE)
+    out = engine.edge_map(Frontier.empty(engine.num_vertices), CCOp(labels))
+    assert out.is_empty
+    assert len(engine.stats.edge_maps) == 0
+
+
+def test_frontier_size_mismatch_rejected(engine):
+    labels = np.arange(engine.num_vertices, dtype=VID_DTYPE)
+    with pytest.raises(ValueError):
+        engine.edge_map(Frontier.full(engine.num_vertices + 1), CCOp(labels))
+
+
+def test_auto_mode_matches_forced_fixpoint(small_rmat):
+    """Algorithm 2's auto dispatch must agree with any forced layout at
+    the fixpoint."""
+    store = GraphStore.build(small_rmat, num_partitions=5)
+    results = []
+    for forced in (None, "coo", "csc"):
+        labels = np.arange(small_rmat.num_vertices, dtype=VID_DTYPE)
+        eng = Engine(store, EngineOptions(num_threads=4, forced_layout=forced))
+        f = Frontier.full(small_rmat.num_vertices)
+        while not f.is_empty:
+            f = eng.edge_map(f, CCOp(labels))
+        results.append(labels)
+    for other in results[1:]:
+        assert np.array_equal(results[0], other)

@@ -1,0 +1,65 @@
+"""Unit tests for vertex_map / vertex_filter and run statistics."""
+
+import numpy as np
+import pytest
+
+from repro.frontier.frontier import Frontier
+
+
+def test_vertex_map_applies_to_active(engine):
+    values = np.zeros(engine.num_vertices)
+    frontier = Frontier.of(engine.num_vertices, 1, 3, 5)
+
+    def bump(ids):
+        values[ids] += 1.0
+
+    engine.vertex_map(frontier, bump)
+    assert values[[1, 3, 5]].tolist() == [1.0, 1.0, 1.0]
+    assert values.sum() == 3.0
+
+
+def test_vertex_map_empty_frontier_skips_fn(engine):
+    called = []
+    engine.vertex_map(Frontier.empty(engine.num_vertices), lambda ids: called.append(1))
+    assert not called
+    assert engine.stats.vertex_maps[-1].frontier_size == 0
+
+
+def test_vertex_filter(engine):
+    frontier = Frontier.of(engine.num_vertices, 0, 1, 2, 3)
+    kept = engine.vertex_filter(frontier, lambda ids: ids % 2 == 0)
+    assert kept.as_sparse().tolist() == [0, 2]
+
+
+def test_vertex_filter_empty(engine):
+    empty = Frontier.empty(engine.num_vertices)
+    assert engine.vertex_filter(empty, lambda ids: ids > 0).is_empty
+
+
+def test_vertex_filter_shape_mismatch(engine):
+    frontier = Frontier.of(engine.num_vertices, 0, 1)
+    with pytest.raises(ValueError):
+        engine.vertex_filter(frontier, lambda ids: np.array([True]))
+
+
+def test_reset_stats_detaches(engine):
+    engine.vertex_map(Frontier.of(engine.num_vertices, 0), lambda ids: None)
+    first = engine.reset_stats()
+    assert len(first.vertex_maps) == 1
+    assert len(engine.stats.vertex_maps) == 0
+
+
+def test_run_stats_histograms(engine):
+    from repro.algorithms.cc import CCOp
+    from repro._types import VID_DTYPE
+
+    labels = np.arange(engine.num_vertices, dtype=VID_DTYPE)
+    frontier = Frontier.full(engine.num_vertices)
+    while not frontier.is_empty:
+        frontier = engine.edge_map(frontier, CCOp(labels))
+    stats = engine.reset_stats()
+    hist = stats.density_histogram()
+    assert sum(hist.values()) == stats.num_iterations
+    layouts = stats.layout_histogram()
+    assert sum(layouts.values()) == stats.num_iterations
+    assert stats.total_examined_edges() >= stats.total_active_edges()

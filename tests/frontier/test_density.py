@@ -1,0 +1,85 @@
+"""Unit tests for Algorithm 2's density classification."""
+
+import numpy as np
+import pytest
+
+from repro.frontier.density import DensityClass, DensityThresholds, classify_frontier
+from repro.frontier.frontier import Frontier
+
+
+def _uniform_graph(n=100, deg=10):
+    """Helper: out-degrees for a graph where every vertex has degree `deg`."""
+    return np.full(n, deg, dtype=np.int64), n * deg
+
+
+def test_sparse_class():
+    out_deg, m = _uniform_graph()
+    f = Frontier.of(100, 0)  # metric = 1 + 10 = 11 <= 1000/20
+    assert classify_frontier(f, out_deg, m) is DensityClass.SPARSE
+
+
+def test_medium_class():
+    out_deg, m = _uniform_graph()
+    f = Frontier(100, sparse=np.arange(10))  # metric = 10 + 100 > 50
+    assert classify_frontier(f, out_deg, m) is DensityClass.MEDIUM
+
+
+def test_dense_class():
+    out_deg, m = _uniform_graph()
+    f = Frontier(100, sparse=np.arange(60))  # metric = 60 + 600 > 500
+    assert classify_frontier(f, out_deg, m) is DensityClass.DENSE
+
+
+def test_boundary_is_exclusive():
+    # Algorithm 2 uses strict '>' comparisons.
+    out_deg = np.zeros(20, dtype=np.int64)
+    m = 20
+    f = Frontier(20, sparse=np.arange(1))  # metric = 1 == m/20
+    assert classify_frontier(f, out_deg, m) is DensityClass.SPARSE
+
+
+def test_empty_frontier_is_sparse():
+    out_deg, m = _uniform_graph()
+    assert classify_frontier(Frontier.empty(100), out_deg, m) is DensityClass.SPARSE
+
+
+def test_full_frontier_is_dense():
+    out_deg, m = _uniform_graph()
+    assert classify_frontier(Frontier.full(100), out_deg, m) is DensityClass.DENSE
+
+
+def test_custom_thresholds_two_way_ligra():
+    """medium = 1.0 disables the dense class: Ligra's two-way scheme."""
+    out_deg, m = _uniform_graph()
+    th = DensityThresholds(sparse=1 / 20, medium=1.0)
+    f = Frontier.full(100)
+    # metric = 1100 > 1000 * 1.0 → still dense.  With uniform degree the
+    # metric exceeds |E| (it counts |F| too); use a threshold that
+    # respects it.
+    got = classify_frontier(f, out_deg, m, th)
+    assert got is DensityClass.DENSE
+    # A 90%-dense frontier stays medium under the two-way scheme.
+    f90 = Frontier(100, sparse=np.arange(90))
+    assert classify_frontier(f90, out_deg, m, th) is DensityClass.MEDIUM
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        DensityThresholds(sparse=0.6, medium=0.5)
+    with pytest.raises(ValueError):
+        DensityThresholds(sparse=-0.1, medium=0.5)
+    with pytest.raises(ValueError):
+        DensityThresholds(sparse=1.5, medium=2.0)
+    # medium above 1 (up to infinity) is allowed: it disables the dense
+    # class because the metric can exceed |E|.
+    DensityThresholds(sparse=0.05, medium=float("inf"))
+
+
+def test_skewed_degrees_drive_density():
+    # One hub: activating just the hub makes the frontier medium/dense.
+    out_deg = np.array([900] + [1] * 99, dtype=np.int64)
+    m = int(out_deg.sum())
+    hub = Frontier.of(100, 0)
+    assert classify_frontier(hub, out_deg, m) is DensityClass.DENSE
+    leaf = Frontier.of(100, 50)
+    assert classify_frontier(leaf, out_deg, m) is DensityClass.SPARSE

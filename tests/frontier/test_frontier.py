@@ -1,0 +1,115 @@
+"""Unit tests for the dual-representation Frontier."""
+
+import numpy as np
+import pytest
+
+from repro.frontier.frontier import Frontier
+
+
+def test_empty():
+    f = Frontier.empty(10)
+    assert f.is_empty
+    assert f.size == 0
+    assert len(f) == 0
+    assert f.density() == 0.0
+
+
+def test_full():
+    f = Frontier.full(10)
+    assert f.size == 10
+    assert f.density() == 1.0
+    assert not f.is_empty
+
+
+def test_of():
+    f = Frontier.of(10, 3, 7)
+    assert f.size == 2
+    assert f.as_sparse().tolist() == [3, 7]
+
+
+def test_from_bitmap():
+    bm = np.zeros(6, dtype=bool)
+    bm[[1, 4]] = True
+    f = Frontier.from_bitmap(bm)
+    assert f.num_vertices == 6
+    assert f.as_sparse().tolist() == [1, 4]
+
+
+def test_sparse_to_bitmap_conversion():
+    f = Frontier(8, sparse=np.array([2, 5]))
+    assert not f.has_bitmap
+    bm = f.as_bitmap()
+    assert f.has_bitmap
+    assert bm.tolist() == [False, False, True, False, False, True, False, False]
+
+
+def test_bitmap_to_sparse_conversion():
+    bm = np.zeros(5, dtype=bool)
+    bm[0] = True
+    f = Frontier(5, bitmap=bm)
+    assert not f.has_sparse
+    assert f.as_sparse().tolist() == [0]
+    assert f.has_sparse
+
+
+def test_conversion_roundtrip():
+    f = Frontier(20, sparse=np.array([1, 3, 19]))
+    g = Frontier(20, bitmap=f.as_bitmap())
+    assert f == g
+
+
+def test_duplicates_in_sparse_collapsed():
+    f = Frontier(5, sparse=np.array([2, 2, 3, 3, 3]))
+    assert f.size == 2
+    assert f.as_sparse().tolist() == [2, 3]
+
+
+def test_unsorted_sparse_sorted():
+    f = Frontier(5, sparse=np.array([4, 0, 2]))
+    assert f.as_sparse().tolist() == [0, 2, 4]
+
+
+def test_contains():
+    f = Frontier.of(6, 1, 5)
+    assert f.contains(np.array([0, 1, 5])).tolist() == [False, True, True]
+
+
+def test_active_edge_metric():
+    out_deg = np.array([3, 0, 2, 1])
+    f = Frontier.of(4, 0, 2)
+    # |F| + sum degout = 2 + 5
+    assert f.active_edge_metric(out_deg) == 7
+    assert Frontier.empty(4).active_edge_metric(out_deg) == 0
+    assert Frontier.full(4).active_edge_metric(out_deg) == 4 + 6
+
+
+def test_requires_exactly_one_representation():
+    with pytest.raises(ValueError):
+        Frontier(4)
+    with pytest.raises(ValueError):
+        Frontier(4, sparse=np.array([0]), bitmap=np.zeros(4, dtype=bool))
+
+
+def test_out_of_range_sparse_rejected():
+    with pytest.raises(ValueError):
+        Frontier(3, sparse=np.array([5]))
+
+
+def test_wrong_bitmap_shape_rejected():
+    with pytest.raises(ValueError):
+        Frontier(4, bitmap=np.zeros(3, dtype=bool))
+
+
+def test_equality():
+    assert Frontier.of(5, 1, 2) == Frontier.of(5, 2, 1)
+    assert Frontier.of(5, 1) != Frontier.of(5, 2)
+    assert Frontier.of(5, 1) != Frontier.of(6, 1)
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(Frontier.empty(3))
+
+
+def test_repr():
+    assert "2/5" in repr(Frontier.of(5, 0, 1))

@@ -1,0 +1,123 @@
+"""Unit tests for CSR/CSC compressed layouts, anchored to paper Figure 1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CompressedGraph, build_csc, build_csr
+from repro.graph.edgelist import EdgeList
+
+
+def test_paper_figure1_csr(paper_graph):
+    csr = build_csr(paper_graph)
+    assert csr.index.tolist() == [0, 5, 5, 6, 8, 9, 14]
+    assert csr.neighbors.tolist() == [1, 2, 3, 4, 5, 4, 4, 5, 5, 0, 1, 2, 3, 4]
+
+
+def test_paper_figure1_csc(paper_graph):
+    csc = build_csc(paper_graph)
+    assert csc.index.tolist() == [0, 1, 3, 5, 7, 11, 14]
+    assert csc.neighbors.tolist() == [5, 0, 5, 0, 5, 0, 5, 0, 2, 3, 5, 0, 3, 4]
+
+
+def test_axis_labels(paper_graph):
+    assert build_csr(paper_graph).axis == "out"
+    assert build_csc(paper_graph).axis == "in"
+
+
+def test_roundtrip_csr(small_rmat):
+    back = build_csr(small_rmat).to_edgelist()
+    assert sorted(back.to_pairs()) == sorted(small_rmat.to_pairs())
+
+
+def test_roundtrip_csc(small_rmat):
+    back = build_csc(small_rmat).to_edgelist()
+    assert sorted(back.to_pairs()) == sorted(small_rmat.to_pairs())
+
+
+def test_neighbors_of(paper_graph):
+    csr = build_csr(paper_graph)
+    assert csr.neighbors_of(0).tolist() == [1, 2, 3, 4, 5]
+    assert csr.neighbors_of(1).tolist() == []
+    csc = build_csc(paper_graph)
+    assert csc.neighbors_of(4).tolist() == [0, 2, 3, 5]
+
+
+def test_degrees_match_edgelist(small_rmat):
+    csr = build_csr(small_rmat)
+    assert np.array_equal(csr.degrees(), small_rmat.out_degrees())
+    csc = build_csc(small_rmat)
+    assert np.array_equal(csc.degrees(), small_rmat.in_degrees())
+
+
+def test_pruned_drops_zero_degree(paper_graph):
+    pruned = build_csr(paper_graph, pruned=True)
+    # Vertex 1 has no out-edges and must be dropped.
+    assert 1 not in pruned.vertex_ids.tolist()
+    assert pruned.num_stored_vertices == 5
+    assert pruned.num_edges == paper_graph.num_edges
+
+
+def test_pruned_neighbors_of_present_and_absent(paper_graph):
+    pruned = build_csr(paper_graph, pruned=True)
+    assert pruned.neighbors_of(0).tolist() == [1, 2, 3, 4, 5]
+    assert pruned.neighbors_of(1).tolist() == []
+
+
+def test_pruned_roundtrip(small_rmat):
+    back = build_csr(small_rmat, pruned=True).to_edgelist()
+    assert sorted(back.to_pairs()) == sorted(small_rmat.to_pairs())
+
+
+def test_storage_bytes_dense_vs_pruned(small_rmat):
+    dense = build_csr(small_rmat)
+    pruned = build_csr(small_rmat, pruned=True)
+    # Pruned stores ids but fewer index slots; with many zero-degree
+    # vertices it should not be larger by more than the id overhead.
+    assert pruned.storage_bytes() <= dense.storage_bytes() + 4 * pruned.num_stored_vertices
+
+
+def test_edge_sources_destinations(paper_graph):
+    csr = build_csr(paper_graph)
+    assert np.array_equal(csr.edge_sources(), np.repeat(np.arange(6), [5, 0, 1, 2, 1, 5]))
+    assert np.array_equal(csr.edge_destinations(), csr.neighbors)
+    csc = build_csc(paper_graph)
+    assert np.array_equal(csc.edge_sources(), csc.neighbors)
+
+
+def test_invalid_axis_rejected():
+    with pytest.raises(GraphFormatError):
+        CompressedGraph(
+            axis="sideways",
+            num_vertices=2,
+            vertex_ids=np.array([0, 1]),
+            index=np.array([0, 0, 0]),
+            neighbors=np.array([], dtype=np.int32),
+            pruned=False,
+        )
+
+
+def test_inconsistent_index_rejected():
+    with pytest.raises(GraphFormatError):
+        CompressedGraph(
+            axis="out",
+            num_vertices=2,
+            vertex_ids=np.array([0, 1]),
+            index=np.array([0, 1, 3]),
+            neighbors=np.array([1], dtype=np.int32),
+            pruned=False,
+        )
+
+
+def test_empty_graph_layouts():
+    g = EdgeList(3, [], [])
+    csr = build_csr(g)
+    assert csr.num_edges == 0
+    assert csr.index.tolist() == [0, 0, 0, 0]
+
+
+def test_neighbors_sorted_within_slice(small_rmat):
+    csr = build_csr(small_rmat)
+    for v in range(0, small_rmat.num_vertices, 37):
+        nbrs = csr.neighbors_of(v)
+        assert np.all(np.diff(nbrs) >= 0)

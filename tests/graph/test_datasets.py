@@ -1,0 +1,57 @@
+"""Unit tests for the Table I dataset registry."""
+
+import pytest
+
+from repro.graph import datasets
+
+
+def test_all_eight_table1_graphs_present():
+    assert datasets.names() == [
+        "twitter", "friendster", "orkut", "livejournal",
+        "yahoo_mem", "usaroad", "powerlaw", "rmat27",
+    ]
+
+
+def test_paper_metadata_matches_table1():
+    tw = datasets.DATASETS["twitter"]
+    assert tw.paper_vertices == 41_700_000
+    assert tw.paper_edges == 1_467_000_000
+    assert tw.directed
+    orkut = datasets.DATASETS["orkut"]
+    assert not orkut.directed
+    assert orkut.paper_edges == 234_000_000
+
+
+@pytest.mark.parametrize("name", datasets.names())
+def test_standins_build_at_tiny_scale(name):
+    g = datasets.load(name, scale=0.1)
+    assert g.num_vertices > 0
+    assert g.num_edges > 0
+    spec = datasets.DATASETS[name]
+    if not spec.directed:
+        assert g.is_symmetric()
+
+
+def test_scale_grows_graph():
+    small = datasets.load("livejournal", scale=0.25)
+    large = datasets.load("livejournal", scale=0.5)
+    assert large.num_vertices > small.num_vertices
+
+
+def test_unknown_dataset():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        datasets.load("facebook")
+
+
+def test_usaroad_standin_properties():
+    g = datasets.load("usaroad", scale=0.2)
+    deg = g.out_degrees()
+    # Road networks: tiny, near-uniform degree.
+    assert deg.max() <= 8
+    assert g.is_symmetric()
+
+
+def test_social_standins_are_skewed():
+    g = datasets.load("twitter", scale=0.2)
+    deg = g.out_degrees()
+    assert deg.max() > 10 * max(deg.mean(), 1e-9)

@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+
+
+def test_rmat_shape():
+    g = gen.rmat(8, 4.0, seed=1)
+    assert g.num_vertices == 256
+    # dedup + self-loop removal shrink the edge count but not drastically.
+    assert 256 * 2 < g.num_edges <= 256 * 4
+
+
+def test_rmat_deterministic():
+    a = gen.rmat(7, 4.0, seed=9)
+    b = gen.rmat(7, 4.0, seed=9)
+    assert a.to_pairs() == b.to_pairs()
+
+
+def test_rmat_seed_changes_graph():
+    a = gen.rmat(7, 4.0, seed=1)
+    b = gen.rmat(7, 4.0, seed=2)
+    assert a.to_pairs() != b.to_pairs()
+
+
+def test_rmat_skewed_degrees():
+    g = gen.rmat(10, 8.0, seed=2)
+    out = g.out_degrees()
+    assert out.max() > 8 * out.mean()
+
+
+def test_rmat_natural_order_hubs_at_low_ids():
+    g = gen.rmat(10, 8.0, seed=2)
+    out = g.out_degrees().astype(float)
+    n = g.num_vertices
+    # Degree mass concentrates in the low-id half (crawl-order skew).
+    assert out[: n // 2].sum() > out[n // 2 :].sum()
+
+
+def test_rmat_permuted_breaks_order_correlation():
+    g = gen.rmat(10, 8.0, seed=2, permute=True)
+    out = g.out_degrees().astype(float)
+    n = g.num_vertices
+    lo, hi = out[: n // 2].sum(), out[n // 2 :].sum()
+    assert 0.6 < lo / max(hi, 1.0) < 1.6
+
+
+def test_rmat_no_dedup_keeps_multiplicity():
+    raw = gen.rmat(7, 8.0, seed=3, dedup=False)
+    deduped = gen.rmat(7, 8.0, seed=3, dedup=True)
+    assert raw.num_edges >= deduped.num_edges
+
+
+def test_powerlaw_shape():
+    g = gen.powerlaw(500, 3000, alpha=2.0, seed=4)
+    assert g.num_vertices == 500
+    assert g.num_edges > 1000
+    assert g.out_degrees().max() > 5 * g.out_degrees().mean()
+
+
+def test_powerlaw_invalid_alpha():
+    with pytest.raises(ValueError):
+        gen.powerlaw(10, 20, alpha=1.0)
+
+
+def test_road_grid_structure():
+    g = gen.road_grid(10, diagonal_fraction=0.0)
+    assert g.num_vertices == 100
+    assert g.is_symmetric()
+    # Interior vertices have degree 4; corner degree 2.
+    deg = g.out_degrees()
+    assert deg.max() == 4
+    assert deg.min() == 2
+
+
+def test_road_grid_diagonals_add_edges():
+    plain = gen.road_grid(10, diagonal_fraction=0.0)
+    diag = gen.road_grid(10, diagonal_fraction=0.2, seed=1)
+    assert diag.num_edges > plain.num_edges
+    assert diag.is_symmetric()
+
+
+def test_erdos_renyi():
+    g = gen.erdos_renyi(100, 400, seed=5)
+    assert g.num_vertices == 100
+    assert 0 < g.num_edges <= 400
+    assert not g.has_self_loops()
+
+
+def test_path():
+    g = gen.path(5)
+    assert g.to_pairs() == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+def test_cycle():
+    g = gen.cycle(4)
+    assert g.to_pairs() == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+
+def test_star():
+    g = gen.star(4)
+    assert g.num_vertices == 5
+    assert g.to_pairs() == [(0, 1), (0, 2), (0, 3), (0, 4)]
+
+
+def test_complete():
+    g = gen.complete(4)
+    assert g.num_edges == 12
+    assert not g.has_self_loops()
+
+
+def test_paper_example_matches_figure1():
+    g = gen.paper_example()
+    assert g.num_vertices == 6
+    assert g.num_edges == 14
+    assert g.out_degrees().tolist() == [5, 0, 1, 2, 1, 5]

@@ -1,0 +1,62 @@
+"""Unit tests for edge-list persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import EdgeList
+from repro.graph.io import load_npz, load_text, save_npz, save_text
+
+
+def test_npz_roundtrip(tmp_path, small_rmat):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    back = load_npz(path)
+    assert back.num_vertices == small_rmat.num_vertices
+    assert np.array_equal(back.src, small_rmat.src)
+    assert np.array_equal(back.dst, small_rmat.dst)
+
+
+def test_npz_preserves_isolated_vertices(tmp_path):
+    g = EdgeList(10, [0], [1])  # vertices 2..9 isolated
+    path = tmp_path / "g.npz"
+    save_npz(path, g)
+    assert load_npz(path).num_vertices == 10
+
+
+def test_npz_missing_key(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(path, foo=np.arange(3))
+    with pytest.raises(GraphFormatError):
+        load_npz(path)
+
+
+def test_text_roundtrip(tmp_path, small_rmat):
+    path = tmp_path / "g.txt"
+    save_text(path, small_rmat)
+    back = load_text(path)
+    assert back.num_vertices == small_rmat.num_vertices
+    assert back.to_pairs() == small_rmat.to_pairs()
+
+
+def test_text_without_header_infers_vertices(tmp_path):
+    path = tmp_path / "raw.txt"
+    path.write_text("0 3\n1 2\n")
+    g = load_text(path)
+    assert g.num_vertices == 4
+    assert g.to_pairs() == [(0, 3), (1, 2)]
+
+
+def test_text_with_comments(tmp_path):
+    path = tmp_path / "c.txt"
+    path.write_text("# a snap-style comment\n0 1\n# another\n1 0\n")
+    g = load_text(path)
+    assert sorted(g.to_pairs()) == [(0, 1), (1, 0)]
+
+
+def test_text_empty_graph_roundtrip(tmp_path):
+    path = tmp_path / "empty.txt"
+    save_text(path, EdgeList(3, [], []))
+    g = load_text(path)
+    assert g.num_vertices == 3
+    assert g.num_edges == 0

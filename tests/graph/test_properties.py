@@ -1,0 +1,35 @@
+"""Unit tests for graph statistics."""
+
+from repro.graph import generators as gen
+from repro.graph.properties import graph_stats
+
+
+def test_paper_example_stats(paper_graph):
+    st = graph_stats(paper_graph)
+    assert st.num_vertices == 6
+    assert st.num_edges == 14
+    assert st.max_out_degree == 5
+    assert st.max_in_degree == 4
+    assert abs(st.mean_degree - 14 / 6) < 1e-12
+    assert st.zero_out_degree_vertices == 1
+    assert st.zero_in_degree_vertices == 0
+    assert not st.is_symmetric
+
+
+def test_symmetric_detection(road):
+    assert graph_stats(road).is_symmetric
+
+
+def test_degree_skew():
+    st = graph_stats(gen.star(9))
+    assert st.max_out_degree == 9
+    assert st.degree_skew() == 9 / (9 / 10)
+
+
+def test_empty_graph_stats():
+    from repro.graph.edgelist import EdgeList
+
+    st = graph_stats(EdgeList(0, [], []))
+    assert st.num_vertices == 0
+    assert st.mean_degree == 0.0
+    assert st.degree_skew() == 0.0

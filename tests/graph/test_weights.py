@@ -1,0 +1,60 @@
+"""Unit tests for deterministic synthetic edge weights."""
+
+import numpy as np
+
+from repro.graph.weights import WeightFn, edge_weights
+
+
+def test_weights_in_range():
+    src = np.arange(1000, dtype=np.int32)
+    dst = (src * 7 + 3) % 1000
+    w = edge_weights(src, dst, low=2.0, high=5.0)
+    assert np.all(w >= 2.0)
+    assert np.all(w < 5.0)
+
+
+def test_weights_deterministic_in_endpoints():
+    src = np.array([1, 2, 3], dtype=np.int32)
+    dst = np.array([4, 5, 6], dtype=np.int32)
+    assert np.array_equal(edge_weights(src, dst), edge_weights(src, dst))
+
+
+def test_weights_order_independent():
+    src = np.array([1, 2, 3], dtype=np.int32)
+    dst = np.array([4, 5, 6], dtype=np.int32)
+    perm = np.array([2, 0, 1])
+    w = edge_weights(src, dst)
+    wp = edge_weights(src[perm], dst[perm])
+    assert np.allclose(w[perm], wp)
+
+
+def test_weights_direction_sensitive():
+    a = edge_weights(np.array([1]), np.array([2]))
+    b = edge_weights(np.array([2]), np.array([1]))
+    assert a[0] != b[0]
+
+
+def test_weights_seed_sensitivity():
+    src = np.arange(100, dtype=np.int32)
+    dst = src[::-1].copy()
+    assert not np.allclose(
+        edge_weights(src, dst, seed=0), edge_weights(src, dst, seed=1)
+    )
+
+
+def test_weights_roughly_uniform():
+    src = np.arange(20000, dtype=np.int64)
+    dst = (src * 31 + 17) % 20000
+    w = edge_weights(src, dst, low=0.0, high=1.0)
+    assert abs(w.mean() - 0.5) < 0.02
+    assert abs(np.quantile(w, 0.25) - 0.25) < 0.02
+
+
+def test_weightfn_callable():
+    fn = WeightFn(low=1.0, high=3.0, seed=7)
+    src = np.array([0, 1], dtype=np.int32)
+    dst = np.array([1, 0], dtype=np.int32)
+    w = fn(src, dst)
+    assert w.shape == (2,)
+    assert np.all((w >= 1.0) & (w < 3.0))
+    assert np.array_equal(w, fn(src, dst))

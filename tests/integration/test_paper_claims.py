@@ -1,0 +1,130 @@
+"""Paper-claim shape tests at reduced scale.
+
+Each test checks one qualitative claim of the evaluation section using the
+same drivers as the full benchmarks, on graphs small enough for CI.  The
+full-scale numbers live in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    StoreCache,
+    ablation_balance,
+    fig2_reuse_distance,
+    fig3_replication,
+    fig4_storage,
+    fig9_comparison,
+    fig10_scalability,
+    table1_graphs,
+)
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return StoreCache()
+
+
+def test_fig2_partitioning_contracts_reuse_distances(cache):
+    """Figure 2: more partitions → shorter worst-case reuse distance."""
+    exp, hists = fig2_reuse_distance(
+        dataset="twitter",
+        scale=SCALE,
+        partition_counts=(1, 4, 24),
+        max_accesses=60_000,
+        cache=cache,
+    )
+    assert hists[24].max_distance() < hists[1].max_distance()
+    assert hists[24].percentile(99) <= hists[1].percentile(99)
+    assert hists[4].max_distance() <= hists[1].max_distance()
+
+
+def test_fig3_replication_growth_sublinear(cache):
+    """Figure 3: r(p) grows, but much slower than p."""
+    exp = fig3_replication(
+        graphs=("twitter", "usaroad"),
+        partition_counts=(1, 4, 16, 64),
+        scale=SCALE,
+        cache=cache,
+    )
+    tw = exp.column("twitter")
+    assert tw == sorted(tw)
+    assert tw[-1] < 64  # far below linear growth
+    # Road networks replicate much less than social networks.
+    assert exp.column("usaroad")[-1] < tw[-1]
+
+
+def test_fig4_storage_shapes(cache):
+    """Figure 4: COO/CSC flat; CSR grows with p; pruned CSR grows with r."""
+    exp = fig4_storage(
+        graphs=("twitter",),
+        partition_counts=(1, 16, 64),
+        scale=SCALE,
+        cache=cache,
+    )
+    csr = exp.column("CSR")
+    pruned = exp.column("CSR pruned")
+    coo = exp.column("COO")
+    csc = exp.column("CSC")
+    assert csr == sorted(csr) and csr[-1] > csr[0]
+    assert pruned == sorted(pruned)
+    assert len(set(coo)) == 1
+    assert len(set(csc)) == 1
+    # At high p the dense CSR overtakes everything (the memory wall).
+    assert csr[-1] > coo[0]
+
+
+def test_fig9_gg2_wins_edge_oriented(cache):
+    """Figure 9 headline: GG-v2 beats Ligra and Polymer, most clearly on
+    edge-oriented algorithms."""
+    out = fig9_comparison(
+        graphs=("twitter",),
+        algorithms=("PR", "CC", "SPMV"),
+        scale=SCALE,
+        gg2_partitions=64,
+        cache=cache,
+    )
+    exp = out["twitter"]
+    for row in exp.rows:
+        algo, ligra, polymer, gg1, gg2 = row
+        assert gg2 < ligra, f"{algo}: GG-v2 must beat Ligra"
+        assert gg2 < polymer, f"{algo}: GG-v2 must beat Polymer"
+        assert gg2 < gg1, f"{algo}: GG-v2 must beat GG-v1"
+
+
+def test_fig10_scaling_with_threads(cache):
+    """Figure 10: more threads → less time, for every system."""
+    out = fig10_scalability(
+        graphs=("twitter",),
+        thread_counts=(4, 16, 48),
+        scale=SCALE,
+        gg2_partitions=64,
+        cache=cache,
+    )
+    exp = out["twitter"]
+    for col in ("L", "P", "GG-v1", "GG-v2"):
+        series = exp.column(col)
+        assert series[-1] < series[0]
+
+
+def test_ablation_balance_matches_orientation(cache):
+    """§III.D: edge-balance helps edge-oriented algorithms."""
+    exp = ablation_balance(
+        dataset="twitter",
+        algorithms=("PR",),
+        scale=SCALE,
+        num_partitions=64,
+        cache=cache,
+    )
+    row = exp.rows[0]
+    # PR is edge-oriented: edge-balanced partitions must not lose.
+    assert row[2] <= row[3] * 1.05
+
+
+def test_table1_registry_consistency(cache):
+    exp = table1_graphs(scale=SCALE, cache=cache)
+    assert len(exp.rows) == 8
+    for row in exp.rows:
+        assert row[1] > row[4]  # paper graphs are larger than stand-ins

@@ -1,0 +1,95 @@
+"""Unit tests for the partitioned COO layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import generators as gen
+from repro.layout.coo import EDGE_ORDERS, PartitionedCOO
+from repro.partition.by_destination import partition_by_destination
+from repro.partition.hilbert import hilbert_index, order_bits_for
+
+
+@pytest.fixture
+def coo(small_rmat):
+    vp = partition_by_destination(small_rmat, 6)
+    return PartitionedCOO.build(small_rmat, vp)
+
+
+def test_paper_example_partition_sizes(paper_graph):
+    vp = partition_by_destination(paper_graph, 2)
+    coo = PartitionedCOO.build(paper_graph, vp)
+    # Figure 1: both partitions hold 7 edges.
+    assert coo.edges_per_partition().tolist() == [7, 7]
+
+
+def test_edges_grouped_by_destination_partition(coo, small_rmat):
+    vp = coo.partition
+    for i in range(coo.num_partitions):
+        src, dst = coo.partition_edges(i)
+        lo, hi = vp.vertex_range(i)
+        assert np.all((dst >= lo) & (dst < hi))
+
+
+def test_every_edge_stored_once(coo, small_rmat):
+    assert sorted(coo.to_edgelist().to_pairs()) == sorted(small_rmat.to_pairs())
+
+
+def test_storage_independent_of_partitions(small_rmat):
+    sizes = set()
+    for p in (1, 4, 16, 64):
+        vp = partition_by_destination(small_rmat, p)
+        sizes.add(PartitionedCOO.build(small_rmat, vp).storage_bytes())
+    assert len(sizes) == 1
+    assert sizes.pop() == 2 * small_rmat.num_edges * 4
+
+
+def test_source_order_within_partition(coo):
+    for i in range(coo.num_partitions):
+        src, _ = coo.partition_edges(i)
+        assert np.all(np.diff(src) >= 0)
+
+
+def test_destination_order_within_partition(small_rmat):
+    vp = partition_by_destination(small_rmat, 5)
+    coo = PartitionedCOO.build(small_rmat, vp, edge_order="destination")
+    for i in range(coo.num_partitions):
+        _, dst = coo.partition_edges(i)
+        assert np.all(np.diff(dst) >= 0)
+
+
+def test_hilbert_order_within_partition(small_rmat):
+    vp = partition_by_destination(small_rmat, 5)
+    coo = PartitionedCOO.build(small_rmat, vp, edge_order="hilbert")
+    bits = order_bits_for(small_rmat.num_vertices)
+    for i in range(coo.num_partitions):
+        src, dst = coo.partition_edges(i)
+        d = hilbert_index(bits, src, dst).astype(np.int64)
+        assert np.all(np.diff(d) >= 0)
+
+
+def test_all_orders_store_same_edge_multiset(small_rmat):
+    vp = partition_by_destination(small_rmat, 4)
+    reference = sorted(small_rmat.to_pairs())
+    for order in EDGE_ORDERS:
+        coo = PartitionedCOO.build(small_rmat, vp, edge_order=order)
+        assert sorted(coo.to_edgelist().to_pairs()) == reference
+
+
+def test_invalid_edge_order(small_rmat):
+    vp = partition_by_destination(small_rmat, 2)
+    with pytest.raises(GraphFormatError):
+        PartitionedCOO.build(small_rmat, vp, edge_order="random")
+
+
+def test_partition_slice(coo):
+    for i in range(coo.num_partitions):
+        s = coo.partition_slice(i)
+        assert s.stop - s.start == coo.edges_per_partition()[i]
+
+
+def test_empty_partitions_allowed():
+    g = gen.star(4)  # all edges point at vertices 1..4
+    vp = partition_by_destination(g, 3, balance="vertices")
+    coo = PartitionedCOO.build(g, vp)
+    assert coo.edges_per_partition().sum() == g.num_edges

@@ -1,0 +1,87 @@
+"""Unit tests for partitioned CSR and ranged CSC layouts."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import build_csc
+from repro.layout.pcsr import PartitionedCSR, RangedCSC
+from repro.partition.by_destination import partition_by_destination
+
+
+@pytest.fixture
+def pcsr(small_rmat):
+    vp = partition_by_destination(small_rmat, 6)
+    return PartitionedCSR.build(small_rmat, vp)
+
+
+def test_every_edge_stored_once(pcsr, small_rmat):
+    assert pcsr.num_edges == small_rmat.num_edges
+    assert sorted(pcsr.to_edgelist().to_pairs()) == sorted(small_rmat.to_pairs())
+
+
+def test_partition_holds_only_home_destinations(pcsr):
+    vp = pcsr.partition
+    for i, part in enumerate(pcsr.parts):
+        lo, hi = vp.vertex_range(i)
+        dst = part.edge_destinations()
+        assert np.all((dst >= lo) & (dst < hi))
+
+
+def test_parts_are_pruned(pcsr):
+    for part in pcsr.parts:
+        assert part.pruned
+        assert np.all(np.diff(part.index) > 0) or part.num_stored_vertices == 0
+
+
+def test_replicated_count_vs_replication_factor(small_rmat):
+    from repro.partition.replication import replication_factor
+
+    vp = partition_by_destination(small_rmat, 10)
+    pcsr = PartitionedCSR.build(small_rmat, vp)
+    expected = replication_factor(small_rmat, vp) * small_rmat.num_vertices
+    assert pcsr.replicated_vertex_count() == pytest.approx(expected)
+
+
+def test_storage_grows_with_partitions(small_rmat):
+    sizes = []
+    for p in (1, 4, 16, 48):
+        vp = partition_by_destination(small_rmat, p)
+        sizes.append(PartitionedCSR.build(small_rmat, vp).storage_bytes())
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0]
+
+
+def test_paper_example_stored_vertices(paper_graph):
+    vp = partition_by_destination(paper_graph, 2)
+    pcsr = PartitionedCSR.build(paper_graph, vp)
+    # Figure 1: partition 0 stores sources {0, 5}; partition 1 stores
+    # {0, 2, 3, 4, 5} — 7 replicas in total.
+    assert pcsr.parts[0].vertex_ids.tolist() == [0, 5]
+    assert pcsr.parts[1].vertex_ids.tolist() == [0, 2, 3, 4, 5]
+    assert pcsr.replicated_vertex_count() == 7
+
+
+def test_ranged_csc_uses_whole_graph(small_rmat):
+    vp = partition_by_destination(small_rmat, 8)
+    ranged = RangedCSC.build(small_rmat, vp)
+    whole = build_csc(small_rmat)
+    assert np.array_equal(ranged.csc.index, whole.index)
+    assert np.array_equal(ranged.csc.neighbors, whole.neighbors)
+
+
+def test_ranged_csc_storage_flat_in_p(small_rmat):
+    sizes = set()
+    for p in (1, 8, 32):
+        vp = partition_by_destination(small_rmat, p)
+        sizes.add(RangedCSC.build(small_rmat, vp).storage_bytes())
+    assert len(sizes) == 1
+
+
+def test_ranged_csc_ranges_cover_vertices(small_rmat):
+    vp = partition_by_destination(small_rmat, 8)
+    ranged = RangedCSC.build(small_rmat, vp)
+    covered = 0
+    for i in range(ranged.num_partitions):
+        lo, hi = ranged.range_of(i)
+        covered += hi - lo
+    assert covered == small_rmat.num_vertices

@@ -1,0 +1,83 @@
+"""Unit tests for the composite three-copy GraphStore."""
+
+import numpy as np
+import pytest
+
+from repro.layout.store import GraphStore
+
+
+def test_three_copies_consistent(small_rmat):
+    store = GraphStore.build(small_rmat, num_partitions=8)
+    reference = sorted(small_rmat.to_pairs())
+    assert sorted(store.csr.to_edgelist().to_pairs()) == reference
+    assert sorted(store.csc.csc.to_edgelist().to_pairs()) == reference
+    assert sorted(store.coo.to_edgelist().to_pairs()) == reference
+
+
+def test_storage_independent_of_partition_count(small_rmat):
+    """§III.B: memory use does not grow with the number of partitions."""
+    sizes = {
+        GraphStore.build(small_rmat, num_partitions=p).storage_bytes()
+        for p in (1, 8, 64)
+    }
+    assert len(sizes) == 1
+
+
+def test_less_than_double_ligra(small_rmat):
+    """§III.B: three copies cost less than double the CSR+CSC scheme."""
+    store = GraphStore.build(small_rmat, num_partitions=16)
+    ligra = store.csr.storage_bytes() + store.csc.storage_bytes()
+    assert store.storage_bytes() < 2 * ligra
+
+
+def test_degrees_cached(small_rmat):
+    store = GraphStore.build(small_rmat, num_partitions=4)
+    assert store.out_degrees is store.out_degrees
+    assert np.array_equal(store.out_degrees, small_rmat.out_degrees())
+    assert np.array_equal(store.in_degrees, small_rmat.in_degrees())
+
+
+def test_coo_always_edge_balanced(small_rmat):
+    """§III.D: the COO layout is edge-balanced even when the CSC ranges
+    are vertex-balanced for a vertex-oriented algorithm."""
+    store = GraphStore.build(small_rmat, num_partitions=8, balance="vertices")
+    csc_sizes = store.csc.partition.sizes()
+    assert max(csc_sizes) - min(csc_sizes) <= 1  # vertex-balanced ranges
+    counts = store.coo.edges_per_partition()
+    avg = small_rmat.num_edges / 8
+    assert counts.max() <= avg + small_rmat.in_degrees().max()
+
+
+def test_edge_balanced_store_shares_partition(small_rmat):
+    store = GraphStore.build(small_rmat, num_partitions=8, balance="edges")
+    assert store.coo.partition is store.csc.partition
+
+
+def test_transposed(small_rmat):
+    store = GraphStore.build(small_rmat, num_partitions=4)
+    t = store.transposed()
+    assert t.num_edges == store.num_edges
+    assert sorted(t.edges.to_pairs()) == sorted(
+        (b, a) for a, b in small_rmat.to_pairs()
+    )
+    assert t.num_partitions == store.num_partitions
+
+
+def test_build_partitioned_csr(small_rmat):
+    store = GraphStore.build(small_rmat, num_partitions=6)
+    pcsr = store.build_partitioned_csr()
+    assert pcsr.num_partitions == 6
+    assert pcsr.num_edges == small_rmat.num_edges
+
+
+def test_explicit_partition(small_rmat):
+    from repro.partition.vertex_partition import VertexPartition
+
+    vp = VertexPartition.equal_vertices(small_rmat.num_vertices, 3)
+    store = GraphStore.build(small_rmat, partition=vp)
+    assert store.num_partitions == 3
+
+
+def test_edge_order_propagates(small_rmat):
+    store = GraphStore.build(small_rmat, num_partitions=4, edge_order="hilbert")
+    assert store.coo.edge_order == "hilbert"

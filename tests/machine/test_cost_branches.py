@@ -1,0 +1,118 @@
+"""Cost-model scheduling branches and fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import EdgeMapStats
+from repro.frontier.density import DensityClass
+from repro.graph import generators as gen
+from repro.layout import GraphStore
+from repro.machine.cost import CostModel, profile_store
+from repro.machine.spec import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = gen.rmat(9, 6, seed=2)
+    store = GraphStore.build(g, num_partitions=8)
+    profile = profile_store(store, num_threads=8)
+    machine = MachineSpec().scaled_for(g.num_vertices)
+    return g, profile, machine
+
+
+def _stats(layout, nparts, *, examined=None, frontier=100, atomics=False):
+    part = None if examined is None else np.asarray(examined, dtype=np.int64)
+    total = int(part.sum()) if part is not None else 1000
+    return EdgeMapStats(
+        layout=layout,
+        direction="forward",
+        density=DensityClass.DENSE,
+        frontier_size=frontier,
+        active_edges=total,
+        examined_edges=total,
+        scanned_vertices=frontier,
+        updated_vertices=frontier,
+        uses_atomics=atomics,
+        num_partitions=nparts,
+        partition_examined=part,
+        partition_touched_vertices=(
+            np.full(nparts, 10, dtype=np.int64) if part is not None else None
+        ),
+    )
+
+
+def test_numa_pinned_span_penalises_skewed_partitions(setup):
+    """With fewer partitions than threads, a NUMA-pinned runtime is bound
+    by its heaviest partition; a non-pinned one splits freely."""
+    _, profile, machine = setup
+    skewed = _stats("coo", 4, examined=[7000, 1000, 1000, 1000])
+    even = _stats("coo", 4, examined=[2500, 2500, 2500, 2500])
+    pinned = CostModel(machine, num_threads=8, numa_aware=True)
+    t_skewed = pinned.edge_map_time_ns(skewed, profile)
+    t_even = pinned.edge_map_time_ns(even, profile)
+    assert t_skewed > t_even
+    # Ligra-style (not NUMA-aware) splits the work across all threads.
+    free = CostModel(machine, num_threads=8, numa_aware=False)
+    assert free.edge_map_time_ns(skewed, profile) < t_skewed
+
+
+def test_lpt_branch_for_many_partitions(setup):
+    _, profile, machine = setup
+    model = CostModel(machine, num_threads=4)
+    stats = _stats("coo", 8, examined=[1000] * 8)
+    t = model.edge_map_time_ns(stats, profile)
+    assert t > 0
+
+
+def test_missing_partition_arrays_fallback(setup):
+    """Stats without per-partition arrays still get timed (uniform split)."""
+    _, profile, machine = setup
+    model = CostModel(machine, num_threads=4)
+    stats = _stats("coo", 6)
+    assert model.edge_map_time_ns(stats, profile) > 0
+    csc = EdgeMapStats(
+        layout="csc", direction="backward", density=DensityClass.MEDIUM,
+        frontier_size=50, active_edges=500, examined_edges=900,
+        scanned_vertices=100, updated_vertices=40, uses_atomics=False,
+        num_partitions=6,
+    )
+    assert model.edge_map_time_ns(csc, profile) > 0
+
+
+def test_vertex_map_time_scales_with_frontier(setup):
+    _, profile, machine = setup
+    model = CostModel(machine, num_threads=4)
+    small = model.vertex_map_time_ns(10)
+    large = model.vertex_map_time_ns(10_000)
+    assert large > small
+
+
+def test_atomics_flag_changes_partitioned_time(setup):
+    _, profile, machine = setup
+    model = CostModel(machine, num_threads=4)
+    base = model.edge_map_time_ns(_stats("coo", 8, examined=[1000] * 8), profile)
+    atomic = model.edge_map_time_ns(
+        _stats("coo", 8, examined=[1000] * 8, atomics=True), profile
+    )
+    assert atomic > base
+
+
+def test_pcsr_scan_fraction(setup):
+    """A sparse pcsr round (few scanned slots) costs less than a dense one."""
+    _, profile, machine = setup
+    model = CostModel(machine, num_threads=4)
+
+    def stats(scanned):
+        return EdgeMapStats(
+            layout="pcsr", direction="forward", density=DensityClass.DENSE,
+            frontier_size=400, active_edges=4000, examined_edges=4000,
+            scanned_vertices=scanned, updated_vertices=300,
+            uses_atomics=True, num_partitions=8,
+            partition_examined=np.full(8, 500, dtype=np.int64),
+            partition_touched_vertices=np.full(8, 40, dtype=np.int64),
+        )
+
+    total_stored = int(profile.pcsr_stored_vertices.sum())
+    sparse_scan = model.edge_map_time_ns(stats(10), profile)
+    dense_scan = model.edge_map_time_ns(stats(total_stored), profile)
+    assert dense_scan > sparse_scan

@@ -1,0 +1,40 @@
+"""NUMA placement model tests."""
+
+import numpy as np
+
+from repro.machine.numa import (
+    partition_domains,
+    remote_access_fraction,
+    threads_per_socket,
+)
+from repro.machine.spec import PAPER_MACHINE, MachineSpec
+
+
+def test_round_robin_placement():
+    d = partition_domains(8, PAPER_MACHINE)
+    assert d.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_placement_balanced_for_multiples_of_sockets():
+    d = partition_domains(384, PAPER_MACHINE)
+    counts = np.bincount(d, minlength=4)
+    assert np.all(counts == 96)
+
+
+def test_threads_per_socket():
+    assert threads_per_socket(48, PAPER_MACHINE) == 12
+    assert threads_per_socket(4, PAPER_MACHINE) == 1
+    assert threads_per_socket(2, PAPER_MACHINE) == 1  # floor at 1
+
+
+def test_remote_fraction_numa_aware_is_small():
+    aware = remote_access_fraction(True, PAPER_MACHINE)
+    naive = remote_access_fraction(False, PAPER_MACHINE)
+    assert aware < naive
+    assert naive == 1.0 - 1.0 / 4
+
+
+def test_remote_fraction_single_socket_zero():
+    m = MachineSpec(sockets=1)
+    assert remote_access_fraction(True, m) == 0.0
+    assert remote_access_fraction(False, m) == 0.0

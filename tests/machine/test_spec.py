@@ -1,0 +1,41 @@
+"""Machine specification tests."""
+
+import pytest
+
+from repro.machine.spec import PAPER_MACHINE, MachineSpec
+
+
+def test_paper_machine_matches_section4():
+    assert PAPER_MACHINE.sockets == 4
+    assert PAPER_MACHINE.cores_per_socket == 12
+    assert PAPER_MACHINE.num_cores == 48
+    assert PAPER_MACHINE.dram_bytes == 256 * (1 << 30)
+
+
+def test_llc_lines():
+    m = MachineSpec(llc_bytes_per_socket=1 << 20, cache_line_bytes=64)
+    assert m.llc_lines_per_socket == (1 << 20) // 64
+    assert m.total_llc_bytes == 4 * (1 << 20)
+
+
+def test_fits_in_memory():
+    assert PAPER_MACHINE.fits_in_memory(200 * (1 << 30))
+    assert not PAPER_MACHINE.fits_in_memory(300 * (1 << 30))
+
+
+def test_scaled_for_preserves_ratio():
+    scaled = PAPER_MACHINE.scaled_for(41_700_000 // 1000)
+    ratio = scaled.llc_bytes_per_socket / PAPER_MACHINE.llc_bytes_per_socket
+    assert ratio == pytest.approx(1 / 1000, rel=0.01)
+
+
+def test_scaled_for_floors_at_64_lines():
+    scaled = PAPER_MACHINE.scaled_for(10)
+    assert scaled.llc_bytes_per_socket >= 64 * scaled.cache_line_bytes
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        MachineSpec(sockets=0)
+    with pytest.raises(ValueError):
+        MachineSpec(llc_bytes_per_socket=16, cache_line_bytes=64)

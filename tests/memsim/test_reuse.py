@@ -1,0 +1,112 @@
+"""Exact stack-distance analysis tests (with brute-force oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.reuse import COLD, ReuseHistogram, reuse_histogram, stack_distances
+
+
+def brute_force(trace):
+    out, last = [], {}
+    for i, a in enumerate(trace):
+        if a in last:
+            out.append(len(set(trace[last[a] + 1 : i])))
+        else:
+            out.append(COLD)
+        last[a] = i
+    return np.array(out, dtype=np.int64)
+
+
+def test_empty_trace():
+    assert stack_distances(np.array([], dtype=np.int64)).size == 0
+
+
+def test_single_access_is_cold():
+    assert stack_distances(np.array([42])).tolist() == [COLD]
+
+
+def test_immediate_reuse_distance_zero():
+    assert stack_distances(np.array([7, 7])).tolist() == [COLD, 0]
+
+
+def test_classic_example():
+    # a b c b a: a's reuse sees {b, c} = 2 distinct; b sees {c} = 1.
+    t = np.array([1, 2, 3, 2, 1])
+    assert stack_distances(t).tolist() == [COLD, COLD, COLD, 1, 2]
+
+
+def test_repeated_address_in_window_counted_once():
+    # a b b b a: distinct in window = {b} = 1.
+    t = np.array([1, 2, 2, 2, 1])
+    d = stack_distances(t)
+    assert d[-1] == 1
+
+
+def test_against_brute_force(rng):
+    for n_addr in (3, 10, 50):
+        t = rng.integers(0, n_addr, size=300)
+        assert np.array_equal(stack_distances(t), brute_force(t.tolist()))
+
+
+def test_arbitrary_address_values(rng):
+    t = rng.integers(-(10**12), 10**12, size=100)
+    t = np.concatenate([t, t])  # force reuses
+    assert np.array_equal(stack_distances(t), brute_force(t.tolist()))
+
+
+def test_sequential_scan_all_cold():
+    t = np.arange(100)
+    assert np.all(stack_distances(t) == COLD)
+
+
+def test_cyclic_scan_distance_is_period_minus_one():
+    t = np.tile(np.arange(10), 3)
+    d = stack_distances(t)
+    assert np.all(d[10:] == 9)
+
+
+# ----------------------------------------------------------------------
+def test_histogram_counts():
+    t = np.tile(np.arange(4), 5)  # 4 cold + 16 at distance 3
+    h = reuse_histogram(t)
+    assert h.cold_accesses == 4
+    assert h.total_accesses == 20
+    assert h.distances.tolist() == [3]
+    assert h.counts.tolist() == [16]
+
+
+def test_histogram_miss_counts_match_lru_semantics():
+    t = np.tile(np.arange(8), 4)
+    h = reuse_histogram(t)
+    # Capacity >= 8 lines: only the 8 cold misses.
+    assert h.misses_for_capacity(8) == 8
+    # Capacity < 8: everything misses.
+    assert h.misses_for_capacity(4) == 32
+    assert h.miss_ratio(4) == 1.0
+
+
+def test_histogram_percentiles():
+    t = np.tile(np.arange(5), 10)
+    h = reuse_histogram(t)
+    assert h.percentile(50) == 4.0
+    assert h.max_distance() == 4
+
+
+def test_histogram_all_cold():
+    h = reuse_histogram(np.arange(5))
+    assert h.max_distance() == -1
+    assert np.isnan(h.percentile(50))
+    assert h.miss_ratio(100) == 1.0
+
+
+def test_partitioning_shortens_reuse_distance():
+    """The Figure 2 effect, in miniature: confining destinations to a
+    partition range cuts the worst-case stack distance."""
+    rng = np.random.default_rng(0)
+    dsts = rng.integers(0, 64, size=2000)
+    whole = reuse_histogram(dsts)
+    # Two partitions: all accesses < 32 first, then the rest.
+    part = np.concatenate([dsts[dsts < 32], dsts[dsts >= 32]])
+    split = reuse_histogram(part)
+    assert split.max_distance() < whole.max_distance()
+    assert split.percentile(90) <= whole.percentile(90)

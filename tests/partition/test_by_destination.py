@@ -1,0 +1,73 @@
+"""Unit tests for partitioning by destination (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import generators as gen
+from repro.partition.by_destination import (
+    edge_partition_ids,
+    edges_per_partition,
+    partition_by_destination,
+)
+
+
+def test_paper_example_two_way(paper_graph):
+    # Figure 1: partition 0 owns vertices 0-3 (7 in-edges), partition 1
+    # owns vertices 4-5 (7 in-edges).
+    vp = partition_by_destination(paper_graph, 2)
+    assert vp.boundaries.tolist() == [0, 4, 6]
+    assert edges_per_partition(paper_graph, vp).tolist() == [7, 7]
+
+
+def test_all_in_edges_in_home_partition(small_rmat):
+    vp = partition_by_destination(small_rmat, 6)
+    pid = edge_partition_ids(small_rmat, vp)
+    home = vp.partition_of(small_rmat.dst)
+    assert np.array_equal(pid, home)
+
+
+def test_edge_balance_quality(small_rmat):
+    vp = partition_by_destination(small_rmat, 8)
+    counts = edges_per_partition(small_rmat, vp)
+    avg = small_rmat.num_edges / 8
+    # Greedy cut: no partition exceeds avg by more than one vertex's
+    # in-degree; allow generous slack for the skewed tail.
+    assert counts.max() <= avg + small_rmat.in_degrees().max()
+
+
+def test_vertex_balance(small_rmat):
+    vp = partition_by_destination(small_rmat, 8, balance="vertices")
+    sizes = vp.sizes()
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_partitions_cover_all_edges(small_rmat):
+    for p in (1, 3, 16):
+        vp = partition_by_destination(small_rmat, p)
+        assert edges_per_partition(small_rmat, vp).sum() == small_rmat.num_edges
+
+
+def test_single_partition(small_rmat):
+    vp = partition_by_destination(small_rmat, 1)
+    assert vp.num_partitions == 1
+    assert edges_per_partition(small_rmat, vp).tolist() == [small_rmat.num_edges]
+
+
+def test_invalid_partition_count(small_rmat):
+    with pytest.raises(PartitionError):
+        partition_by_destination(small_rmat, 0)
+    with pytest.raises(PartitionError):
+        partition_by_destination(small_rmat, small_rmat.num_vertices + 1)
+
+
+def test_invalid_balance(small_rmat):
+    with pytest.raises(ValueError):
+        partition_by_destination(small_rmat, 2, balance="degrees")
+
+
+def test_road_graph_balance(road):
+    vp = partition_by_destination(road, 12)
+    counts = edges_per_partition(road, vp)
+    # Uniform-degree graphs should balance almost perfectly.
+    assert counts.max() <= 1.2 * counts.mean()

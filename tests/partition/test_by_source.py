@@ -1,0 +1,46 @@
+"""Unit tests for partitioning by source."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.by_source import (
+    edge_partition_ids_by_source,
+    partition_by_source,
+)
+
+
+def test_out_edges_in_home_partition(small_rmat):
+    vp = partition_by_source(small_rmat, 5)
+    pid = edge_partition_ids_by_source(small_rmat, vp)
+    assert np.array_equal(pid, vp.partition_of(small_rmat.src))
+
+
+def test_edge_balance_uses_out_degrees(small_rmat):
+    vp = partition_by_source(small_rmat, 4)
+    pid = edge_partition_ids_by_source(small_rmat, vp)
+    counts = np.bincount(pid, minlength=4)
+    assert counts.sum() == small_rmat.num_edges
+    assert counts.max() <= small_rmat.num_edges / 4 + small_rmat.out_degrees().max()
+
+
+def test_vertex_balance(small_rmat):
+    vp = partition_by_source(small_rmat, 4, balance="vertices")
+    assert max(vp.sizes()) - min(vp.sizes()) <= 1
+
+
+def test_symmetry_with_destination_on_symmetric_graph(road):
+    from repro.partition.by_destination import partition_by_destination
+
+    # On a symmetric graph in/out degrees coincide, so both schemes cut
+    # identically.
+    a = partition_by_source(road, 6)
+    b = partition_by_destination(road, 6)
+    assert a.boundaries.tolist() == b.boundaries.tolist()
+
+
+def test_invalid_inputs(small_rmat):
+    with pytest.raises(PartitionError):
+        partition_by_source(small_rmat, 0)
+    with pytest.raises(ValueError):
+        partition_by_source(small_rmat, 2, balance="nope")

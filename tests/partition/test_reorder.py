@@ -1,0 +1,99 @@
+"""Vertex-reordering extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.partition.reorder import apply_order, bfs_order, degree_order, random_order
+
+
+def test_degree_order_is_permutation(small_rmat):
+    perm = degree_order(small_rmat)
+    assert np.array_equal(np.sort(perm), np.arange(small_rmat.num_vertices))
+
+
+def test_degree_order_descending(small_rmat):
+    perm = degree_order(small_rmat)
+    total = small_rmat.out_degrees() + small_rmat.in_degrees()
+    assert np.all(np.diff(total[perm]) <= 0)
+
+
+def test_bfs_order_is_permutation(small_rmat):
+    perm = bfs_order(small_rmat, 0)
+    assert np.array_equal(np.sort(perm), np.arange(small_rmat.num_vertices))
+
+
+def test_bfs_order_starts_at_source(small_rmat):
+    assert bfs_order(small_rmat, 5)[0] == 5
+
+
+def test_bfs_order_respects_levels(road):
+    from repro.algorithms.bfs import bfs
+    from repro.core import Engine
+    from repro.layout import GraphStore
+
+    perm = bfs_order(road, 0)
+    levels = bfs(Engine(GraphStore.build(road, num_partitions=1)), 0).level
+    seq = levels[perm]
+    reached = seq[seq >= 0]
+    assert np.all(np.diff(reached) >= 0)  # non-decreasing BFS levels
+
+
+def test_bfs_order_source_validation(small_rmat):
+    with pytest.raises(ValueError):
+        bfs_order(small_rmat, -1)
+
+
+def test_random_order_deterministic(small_rmat):
+    assert np.array_equal(
+        random_order(small_rmat, seed=5), random_order(small_rmat, seed=5)
+    )
+    assert not np.array_equal(
+        random_order(small_rmat, seed=5), random_order(small_rmat, seed=6)
+    )
+
+
+def test_apply_order_preserves_structure(small_rmat):
+    perm = degree_order(small_rmat)
+    relabeled = apply_order(small_rmat, perm)
+    assert relabeled.num_edges == small_rmat.num_edges
+    # Degree multiset unchanged.
+    assert sorted(relabeled.out_degrees()) == sorted(small_rmat.out_degrees())
+    # New vertex 0 is the old max-degree vertex.
+    total = small_rmat.out_degrees() + small_rmat.in_degrees()
+    new_total = relabeled.out_degrees() + relabeled.in_degrees()
+    assert new_total[0] == total.max()
+
+
+def test_apply_order_shape_validation(small_rmat):
+    with pytest.raises(ValueError):
+        apply_order(small_rmat, np.arange(3))
+
+
+def test_bfs_reorder_reduces_bandwidth(road):
+    """BFS ordering shrinks |src - dst| spans on road graphs (the
+    Cuthill-McKee effect) versus a random labelling."""
+    randomized = apply_order(road, random_order(road, seed=1))
+    reordered = apply_order(randomized, bfs_order(randomized, 0))
+    span_before = np.abs(
+        randomized.src.astype(np.int64) - randomized.dst.astype(np.int64)
+    ).mean()
+    span_after = np.abs(
+        reordered.src.astype(np.int64) - reordered.dst.astype(np.int64)
+    ).mean()
+    assert span_after < span_before / 2
+
+
+def test_algorithms_invariant_under_reordering(small_rmat):
+    """PageRank values are permutation-equivariant."""
+    from repro.algorithms import pagerank
+    from repro.core import Engine
+    from repro.layout import GraphStore
+
+    perm = degree_order(small_rmat)
+    base = pagerank(Engine(GraphStore.build(small_rmat, num_partitions=8)))
+    reord = pagerank(
+        Engine(GraphStore.build(apply_order(small_rmat, perm), num_partitions=8))
+    )
+    # new id i corresponds to old id perm[i]
+    assert np.allclose(reord.ranks, base.ranks[perm], atol=1e-12)

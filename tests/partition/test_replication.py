@@ -1,0 +1,79 @@
+"""Unit tests for the replication factor (paper §II.D, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.partition.by_destination import partition_by_destination
+from repro.partition.replication import (
+    replication_counts,
+    replication_curve,
+    replication_factor,
+    worst_case_replication_factor,
+)
+from repro.partition.vertex_partition import VertexPartition
+
+
+def test_paper_example_replication_is_7_6(paper_graph):
+    """The paper states r = 7/6 for Figure 1's two-way partitioning."""
+    vp = partition_by_destination(paper_graph, 2)
+    assert replication_factor(paper_graph, vp) == pytest.approx(7 / 6)
+
+
+def test_single_partition_counts(paper_graph):
+    vp = VertexPartition.single(paper_graph.num_vertices)
+    counts = replication_counts(paper_graph, vp)
+    # With one partition, every vertex with out-edges appears exactly once.
+    has_out = paper_graph.out_degrees() > 0
+    assert np.array_equal(counts, has_out.astype(np.int64))
+
+
+def test_counts_bounded_by_partitions_and_degree(small_rmat):
+    vp = partition_by_destination(small_rmat, 7)
+    counts = replication_counts(small_rmat, vp)
+    out_deg = small_rmat.out_degrees()
+    assert np.all(counts <= 7)
+    assert np.all(counts <= out_deg)
+    assert np.all(counts[out_deg > 0] >= 1)
+
+
+def test_monotone_in_partitions(small_rmat):
+    curve = replication_curve(small_rmat, [1, 2, 4, 8, 16, 32])
+    values = [r for _, r in curve]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_bounded_by_worst_case(small_rmat):
+    worst = worst_case_replication_factor(small_rmat)
+    for p in (2, 8, 32, 64):
+        vp = partition_by_destination(small_rmat, p)
+        assert replication_factor(small_rmat, vp) <= worst + 1e-12
+
+
+def test_max_partitions_reaches_worst_case():
+    # One vertex per partition: every out-edge creates a replica, except
+    # parallel edges to the same destination (deduplicated here).
+    g = gen.complete(6)
+    vp = partition_by_destination(g, 6, balance="vertices")
+    assert replication_factor(g, vp) == pytest.approx(
+        worst_case_replication_factor(g)
+    )
+
+
+def test_matches_partitioned_csr_storage(small_rmat):
+    """r(p)·|V| must equal the partitioned CSR's stored slot count."""
+    from repro.layout.pcsr import PartitionedCSR
+
+    vp = partition_by_destination(small_rmat, 9)
+    pcsr = PartitionedCSR.build(small_rmat, vp)
+    assert pcsr.replicated_vertex_count() == replication_counts(
+        small_rmat, vp
+    ).sum()
+
+
+def test_empty_graph():
+    from repro.graph.edgelist import EdgeList
+
+    g = EdgeList(0, [], [])
+    assert worst_case_replication_factor(g) == 0.0
+    assert replication_factor(g, VertexPartition(0, np.array([0, 0]))) == 0.0

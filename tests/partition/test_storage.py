@@ -1,0 +1,63 @@
+"""Unit tests for the closed-form storage models (paper §II.E, Figure 4)."""
+
+import pytest
+
+from repro.partition.storage import StorageModel
+
+
+@pytest.fixture
+def twitter_model():
+    return StorageModel(41_700_000, 1_467_000_000)
+
+
+def test_coo_independent_of_partitions(twitter_model):
+    # 2 |E| bv — flat in p.
+    assert twitter_model.coo_bytes() == 2 * 1_467_000_000 * 4
+
+
+def test_csc_formula(twitter_model):
+    assert twitter_model.csc_bytes() == 1_467_000_000 * 4 + 41_700_000 * 8
+
+
+def test_csr_dense_linear_in_p(twitter_model):
+    b1 = twitter_model.csr_dense_bytes(1)
+    b2 = twitter_model.csr_dense_bytes(2)
+    b4 = twitter_model.csr_dense_bytes(4)
+    # Linear in p: equal increments per added partition.
+    assert (b2 - b1) == (b4 - b2) / 2
+    assert b2 - b1 == 41_700_000 * 8
+
+
+def test_csr_pruned_grows_with_replication(twitter_model):
+    assert twitter_model.csr_pruned_bytes(2.0) > twitter_model.csr_pruned_bytes(1.0)
+
+
+def test_csr_pruned_at_r1_smaller_than_dense_at_high_p(twitter_model):
+    assert twitter_model.csr_pruned_bytes(1.0) < twitter_model.csr_dense_bytes(100)
+
+
+def test_three_copy_scheme_independent_of_p(twitter_model):
+    # §III.B: GG-v2's memory use does not grow with partitions and is less
+    # than double Ligra's two-copy scheme.
+    gg2 = twitter_model.graphgrind_v2_bytes()
+    ligra = twitter_model.ligra_bytes()
+    assert gg2 < 2 * ligra
+
+
+def test_to_gib():
+    assert StorageModel.to_gib(1 << 30) == 1.0
+
+
+def test_custom_byte_sizes():
+    m = StorageModel(10, 100, bytes_per_vid=8, bytes_per_eid=8)
+    assert m.coo_bytes() == 1600
+    assert m.csc_bytes() == 880
+
+
+def test_assert_fits(twitter_model):
+    from repro.errors import CapacityError
+    import pytest as _pytest
+
+    twitter_model.assert_fits(10, 100)
+    with _pytest.raises(CapacityError, match="GiB"):
+        twitter_model.assert_fits(300 << 30, 256 << 30, what="CSR at P=384")

@@ -1,0 +1,91 @@
+"""Streaming partitioner (LDG / FENNEL) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import generators as gen
+from repro.partition.by_destination import partition_by_destination
+from repro.partition.streaming import (
+    StreamingAssignment,
+    assignment_from_ranges,
+    edge_cut_fraction,
+    fennel_partition,
+    ldg_partition,
+)
+
+
+@pytest.mark.parametrize("partitioner", [ldg_partition, fennel_partition])
+def test_produces_valid_assignment(small_rmat, partitioner):
+    a = partitioner(small_rmat, 6)
+    assert a.num_partitions == 6
+    assert a.num_vertices == small_rmat.num_vertices
+    assert a.sizes().sum() == small_rmat.num_vertices
+
+
+@pytest.mark.parametrize("partitioner", [ldg_partition, fennel_partition])
+def test_reasonable_balance(small_rmat, partitioner):
+    a = partitioner(small_rmat, 6)
+    assert a.balance() < 1.6
+
+
+@pytest.mark.parametrize("partitioner", [ldg_partition, fennel_partition])
+def test_deterministic(small_rmat, partitioner):
+    assert np.array_equal(
+        partitioner(small_rmat, 4).assignment, partitioner(small_rmat, 4).assignment
+    )
+
+
+def test_ldg_beats_hash_on_clustered_graph(road):
+    """On a road lattice, neighbourhood-aware placement must cut far fewer
+    edges than a hash (modular) assignment."""
+    a = ldg_partition(road, 8)
+    hashed = StreamingAssignment(
+        8, (np.arange(road.num_vertices) % 8).astype(np.int32)
+    )
+    assert edge_cut_fraction(road, a) < edge_cut_fraction(road, hashed) / 2
+
+
+def test_ldg_cut_vs_algorithm1(road):
+    """On a spatially ordered road graph, Algorithm 1's contiguous ranges
+    are already near-optimal; LDG should be in the same league."""
+    ranges = assignment_from_ranges(partition_by_destination(road, 8))
+    ldg = ldg_partition(road, 8)
+    assert edge_cut_fraction(road, ldg) < 3 * edge_cut_fraction(road, ranges) + 0.05
+
+
+def test_edge_cut_bounds(small_rmat):
+    a = ldg_partition(small_rmat, 4)
+    cut = edge_cut_fraction(small_rmat, a)
+    assert 0.0 <= cut <= 1.0
+    one = StreamingAssignment(1, np.zeros(small_rmat.num_vertices, dtype=np.int32))
+    assert edge_cut_fraction(small_rmat, one) == 0.0
+
+
+def test_assignment_from_ranges_roundtrip(small_rmat):
+    vp = partition_by_destination(small_rmat, 5)
+    a = assignment_from_ranges(vp)
+    assert a.num_partitions == 5
+    assert np.array_equal(a.sizes(), vp.sizes())
+
+
+def test_invalid_inputs(small_rmat):
+    with pytest.raises(PartitionError):
+        ldg_partition(small_rmat, 0)
+    with pytest.raises(PartitionError):
+        StreamingAssignment(2, np.array([0, 3], dtype=np.int32))
+
+
+def test_custom_stream_order(small_rmat):
+    rng = np.random.default_rng(1)
+    order = rng.permutation(small_rmat.num_vertices)
+    a = ldg_partition(small_rmat, 4, order=order)
+    assert a.sizes().sum() == small_rmat.num_vertices
+
+
+def test_empty_graph():
+    from repro.graph.edgelist import EdgeList
+
+    g = EdgeList(0, [], [])
+    a = ldg_partition(g, 2)
+    assert a.num_vertices == 0

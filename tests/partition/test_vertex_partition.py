@@ -1,0 +1,99 @@
+"""Unit tests for contiguous vertex partitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.vertex_partition import VertexPartition
+
+
+def test_single():
+    vp = VertexPartition.single(10)
+    assert vp.num_partitions == 1
+    assert vp.vertex_range(0) == (0, 10)
+    assert vp.sizes().tolist() == [10]
+
+
+def test_equal_vertices():
+    vp = VertexPartition.equal_vertices(10, 3)
+    assert vp.num_partitions == 3
+    assert vp.sizes().sum() == 10
+    assert max(vp.sizes()) - min(vp.sizes()) <= 1
+
+
+def test_equal_vertices_more_partitions_than_vertices():
+    vp = VertexPartition.equal_vertices(2, 4)
+    assert vp.num_partitions == 4
+    assert vp.sizes().sum() == 2
+
+
+def test_partition_of_vectorised():
+    vp = VertexPartition(10, np.array([0, 3, 7, 10]))
+    got = vp.partition_of(np.arange(10))
+    assert got.tolist() == [0, 0, 0, 1, 1, 1, 1, 2, 2, 2]
+
+
+def test_partition_of_boundaries():
+    vp = VertexPartition(6, np.array([0, 3, 6]))
+    assert vp.partition_of(np.array([0]))[0] == 0
+    assert vp.partition_of(np.array([2]))[0] == 0
+    assert vp.partition_of(np.array([3]))[0] == 1
+    assert vp.partition_of(np.array([5]))[0] == 1
+
+
+def test_owner_mask():
+    vp = VertexPartition(5, np.array([0, 2, 5]))
+    assert vp.owner_mask(0).tolist() == [True, True, False, False, False]
+    assert vp.owner_mask(1).tolist() == [False, False, True, True, True]
+
+
+def test_from_weights_algorithm1_semantics():
+    # Algorithm 1 cuts when the running partition weight reaches |E|/P.
+    weights = np.array([3, 1, 1, 1, 1, 1])  # total 8, P=2, avg 4
+    vp = VertexPartition.from_weights(weights, 2)
+    # Partition 0 accumulates 3+1 = 4 >= 4 then cuts.
+    assert vp.boundaries.tolist() == [0, 2, 6]
+
+
+def test_from_weights_heavy_head():
+    weights = np.array([100, 1, 1, 1])
+    vp = VertexPartition.from_weights(weights, 2)
+    # First vertex alone exceeds the average: cut right after it.
+    assert vp.boundaries.tolist() == [0, 1, 4]
+
+
+def test_from_weights_zero_weights():
+    vp = VertexPartition.from_weights(np.zeros(5, dtype=np.int64), 2)
+    assert vp.num_partitions == 2
+    assert vp.sizes().sum() == 5
+
+
+def test_from_weights_single_partition():
+    vp = VertexPartition.from_weights(np.array([1, 2, 3]), 1)
+    assert vp.boundaries.tolist() == [0, 3]
+
+
+def test_from_weights_exhausted_vertices():
+    # More partitions than positive-weight vertices: later cuts clamp.
+    weights = np.array([10, 10])
+    vp = VertexPartition.from_weights(weights, 4)
+    assert vp.num_partitions == 4
+    assert vp.sizes().sum() == 2
+
+
+def test_invalid_boundaries_rejected():
+    with pytest.raises(PartitionError):
+        VertexPartition(5, np.array([0, 3]))  # does not end at |V|
+    with pytest.raises(PartitionError):
+        VertexPartition(5, np.array([1, 5]))  # does not start at 0
+    with pytest.raises(PartitionError):
+        VertexPartition(5, np.array([0, 4, 2, 5]))  # not monotone
+    with pytest.raises(PartitionError):
+        VertexPartition(5, np.array([0]))  # too short
+
+
+def test_invalid_partition_count():
+    with pytest.raises(PartitionError):
+        VertexPartition.equal_vertices(5, 0)
+    with pytest.raises(PartitionError):
+        VertexPartition.from_weights(np.array([1]), 0)

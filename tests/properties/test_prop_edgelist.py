@@ -1,0 +1,82 @@
+"""Property-based tests on the EdgeList container."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.edgelist import EdgeList
+
+
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return EdgeList(n, np.array(src, dtype=np.int32), np.array(dst, dtype=np.int32))
+
+
+@given(edge_lists())
+def test_degree_sums_equal_edge_count(g):
+    assert g.out_degrees().sum() == g.num_edges
+    assert g.in_degrees().sum() == g.num_edges
+
+
+@given(edge_lists())
+def test_reverse_swaps_degrees(g):
+    r = g.reversed()
+    assert np.array_equal(r.out_degrees(), g.in_degrees())
+    assert np.array_equal(r.in_degrees(), g.out_degrees())
+
+
+@given(edge_lists())
+def test_reverse_involution(g):
+    rr = g.reversed().reversed()
+    assert np.array_equal(rr.src, g.src)
+    assert np.array_equal(rr.dst, g.dst)
+
+
+@given(edge_lists())
+def test_symmetrize_produces_symmetric(g):
+    assert g.symmetrized().is_symmetric()
+
+
+@given(edge_lists())
+def test_symmetrize_contains_original(g):
+    sym = set(g.symmetrized().to_pairs())
+    assert set(g.to_pairs()) <= sym
+
+
+@given(edge_lists())
+def test_dedup_idempotent(g):
+    d = g.deduplicated()
+    dd = d.deduplicated()
+    assert d.to_pairs() == dd.to_pairs()
+    assert len(set(d.to_pairs())) == d.num_edges
+
+
+@given(edge_lists())
+def test_sort_preserves_multiset(g):
+    for key in ("source", "destination"):
+        s = g.sorted_by(key)
+        assert sorted(s.to_pairs()) == sorted(g.to_pairs())
+
+
+@given(edge_lists(), st.randoms())
+def test_permute_preserves_multiset(g, rnd):
+    order = list(range(g.num_edges))
+    rnd.shuffle(order)
+    p = g.permuted(np.array(order, dtype=np.int64))
+    assert sorted(p.to_pairs()) == sorted(g.to_pairs())
+
+
+@given(edge_lists())
+def test_self_loop_removal_complete(g):
+    clean = g.without_self_loops()
+    assert not clean.has_self_loops()
+    kept = [e for e in g.to_pairs() if e[0] != e[1]]
+    assert clean.to_pairs() == kept

@@ -1,0 +1,56 @@
+"""Property-based tests on the Frontier's dual representation."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontier.density import DensityClass, classify_frontier
+from repro.frontier.frontier import Frontier
+
+
+@st.composite
+def frontiers(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    ids = draw(st.lists(st.integers(0, n - 1), max_size=n))
+    return Frontier(n, sparse=np.array(ids, dtype=np.int32)), set(ids)
+
+
+@given(frontiers())
+def test_size_is_distinct_count(fs):
+    f, ids = fs
+    assert f.size == len(ids)
+    assert f.is_empty == (len(ids) == 0)
+
+
+@given(frontiers())
+def test_representation_roundtrip(fs):
+    f, ids = fs
+    assert set(f.as_sparse().tolist()) == ids
+    assert set(np.flatnonzero(f.as_bitmap()).tolist()) == ids
+    # Rebuild from the other representation.
+    g = Frontier(f.num_vertices, bitmap=f.as_bitmap().copy())
+    assert g == f
+
+
+@given(frontiers())
+def test_contains_consistent(fs):
+    f, ids = fs
+    probe = np.arange(f.num_vertices)
+    member = f.contains(probe)
+    assert set(probe[member].tolist()) == ids
+
+
+@given(frontiers())
+def test_metric_matches_definition(fs):
+    f, ids = fs
+    out_deg = np.arange(f.num_vertices, dtype=np.int64) % 7
+    expected = len(ids) + sum(int(out_deg[v]) for v in ids)
+    assert f.active_edge_metric(out_deg) == expected
+
+
+@given(frontiers())
+def test_classification_total_and_exclusive(fs):
+    f, _ = fs
+    out_deg = np.ones(f.num_vertices, dtype=np.int64)
+    got = classify_frontier(f, out_deg, max(f.num_vertices, 1))
+    assert got in (DensityClass.SPARSE, DensityClass.MEDIUM, DensityClass.DENSE)

@@ -1,0 +1,85 @@
+"""Property-based tests: every layout stores the same edge multiset."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.csr import build_csc, build_csr
+from repro.layout.coo import EDGE_ORDERS, PartitionedCOO
+from repro.layout.pcsr import PartitionedCSR, RangedCSC
+from repro.layout.store import GraphStore
+from repro.partition.by_destination import partition_by_destination
+from tests.properties.test_prop_edgelist import edge_lists
+
+
+@st.composite
+def graph_partitions_order(draw):
+    g = draw(edge_lists())
+    p = draw(st.integers(min_value=1, max_value=g.num_vertices))
+    order = draw(st.sampled_from(EDGE_ORDERS))
+    return g, p, order
+
+
+@given(edge_lists())
+def test_csr_csc_roundtrip(g):
+    for builder in (build_csr, build_csc):
+        for pruned in (False, True):
+            back = builder(g, pruned=pruned).to_edgelist()
+            assert sorted(back.to_pairs()) == sorted(g.to_pairs())
+
+
+@given(graph_partitions_order())
+def test_coo_preserves_edges(gpo):
+    g, p, order = gpo
+    vp = partition_by_destination(g, p)
+    coo = PartitionedCOO.build(g, vp, edge_order=order)
+    assert sorted(coo.to_edgelist().to_pairs()) == sorted(g.to_pairs())
+    assert coo.edges_per_partition().sum() == g.num_edges
+
+
+@given(graph_partitions_order())
+def test_coo_partition_confinement(gpo):
+    g, p, order = gpo
+    vp = partition_by_destination(g, p)
+    coo = PartitionedCOO.build(g, vp, edge_order=order)
+    for i in range(p):
+        _, dst = coo.partition_edges(i)
+        lo, hi = vp.vertex_range(i)
+        assert np.all((dst >= lo) & (dst < hi))
+
+
+@given(graph_partitions_order())
+def test_pcsr_preserves_edges(gpo):
+    g, p, _ = gpo
+    vp = partition_by_destination(g, p)
+    pcsr = PartitionedCSR.build(g, vp)
+    assert sorted(pcsr.to_edgelist().to_pairs()) == sorted(g.to_pairs())
+
+
+@given(graph_partitions_order())
+def test_ranged_csc_whole_graph(gpo):
+    g, p, _ = gpo
+    vp = partition_by_destination(g, p)
+    ranged = RangedCSC.build(g, vp)
+    assert ranged.num_edges == g.num_edges
+    whole = build_csc(g)
+    assert np.array_equal(ranged.csc.index, whole.index)
+
+
+@given(graph_partitions_order())
+def test_store_memory_flat_in_p(gpo):
+    g, p, order = gpo
+    s1 = GraphStore.build(g, num_partitions=1, edge_order=order)
+    sp = GraphStore.build(g, num_partitions=p, edge_order=order)
+    assert s1.storage_bytes() == sp.storage_bytes()
+
+
+@given(graph_partitions_order())
+def test_pcsr_storage_at_least_coo_model(gpo):
+    """Partitioned CSR is never cheaper than its closed-form floor."""
+    g, p, _ = gpo
+    vp = partition_by_destination(g, p)
+    pcsr = PartitionedCSR.build(g, vp)
+    # Floor: one index entry per stored vertex + the edge array.
+    floor = pcsr.replicated_vertex_count() * 8 + g.num_edges * 4
+    assert pcsr.storage_bytes() >= floor

@@ -1,0 +1,94 @@
+"""Property-based tests on partitioning invariants (paper §II.B)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.partition.by_destination import (
+    edge_partition_ids,
+    edges_per_partition,
+    partition_by_destination,
+)
+from repro.partition.replication import (
+    replication_counts,
+    replication_factor,
+    worst_case_replication_factor,
+)
+from tests.properties.test_prop_edgelist import edge_lists
+
+
+@st.composite
+def graph_and_partition_count(draw):
+    g = draw(edge_lists())
+    p = draw(st.integers(min_value=1, max_value=g.num_vertices))
+    return g, p
+
+
+@given(graph_and_partition_count())
+def test_partitions_are_a_partition(gp):
+    """Non-overlapping, covering: the formal definition in §II.B."""
+    g, p = gp
+    vp = partition_by_destination(g, p)
+    assert vp.num_partitions == p
+    assert vp.sizes().sum() == g.num_vertices
+    pid = vp.partition_of(np.arange(g.num_vertices))
+    assert np.all((pid >= 0) & (pid < p))
+    # Contiguity: partition ids are non-decreasing over vertex ids.
+    assert np.all(np.diff(pid) >= 0)
+
+
+@given(graph_and_partition_count())
+def test_every_edge_in_home_partition_of_destination(gp):
+    """Equation (1): G_dst^P = {(u, v) : v in P}."""
+    g, p = gp
+    vp = partition_by_destination(g, p)
+    pid = edge_partition_ids(g, vp)
+    assert np.array_equal(pid, vp.partition_of(g.dst))
+    assert edges_per_partition(g, vp).sum() == g.num_edges
+
+
+@given(graph_and_partition_count(), st.sampled_from(["edges", "vertices"]))
+def test_balance_criteria_both_valid(gp, balance):
+    g, p = gp
+    vp = partition_by_destination(g, p, balance=balance)
+    assert vp.num_partitions == p
+    assert vp.sizes().sum() == g.num_vertices
+
+
+@given(graph_and_partition_count())
+def test_replication_bounds(gp):
+    """1 <= r(p) <= min(p, worst case) for graphs with edges."""
+    g, p = gp
+    vp = partition_by_destination(g, p)
+    counts = replication_counts(g, vp)
+    out_deg = g.out_degrees()
+    assert np.all(counts <= np.minimum(out_deg, p))
+    assert np.all(counts[out_deg > 0] >= 1)
+    if g.num_edges:
+        r = replication_factor(g, vp)
+        assert r <= worst_case_replication_factor(g) + 1e-9
+        assert r <= p
+
+
+@given(edge_lists())
+def test_replication_never_below_one_partition(g):
+    """r(p) >= r(1) for every p: each vertex with out-edges appears in at
+    least one partition.  (Strict monotonicity in p is only a typical
+    property — adversarial degree sequences can shift Algorithm 1's greedy
+    cuts so that a larger p groups a hub's destinations together.)"""
+    base = replication_factor(g, partition_by_destination(g, 1))
+    for p in (2, 3, 4):
+        if p > g.num_vertices:
+            break
+        vp = partition_by_destination(g, p)
+        assert replication_factor(g, vp) >= base - 1e-12
+
+
+@given(graph_and_partition_count())
+def test_single_partition_no_replication(gp):
+    g, _ = gp
+    vp = partition_by_destination(g, 1)
+    r = replication_factor(g, vp)
+    vertices_with_out = np.count_nonzero(g.out_degrees())
+    expected = vertices_with_out / g.num_vertices if g.num_vertices else 0.0
+    assert abs(r - expected) < 1e-12

@@ -1,0 +1,66 @@
+"""Property-based tests: stack distances vs brute force, cache laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cache import CacheConfig, simulate_cache
+from repro.memsim.reuse import COLD, reuse_histogram, stack_distances
+
+traces = st.lists(st.integers(min_value=0, max_value=15), min_size=0, max_size=120)
+
+
+def brute_force(trace):
+    out, last = [], {}
+    for i, a in enumerate(trace):
+        out.append(len(set(trace[last[a] + 1 : i])) if a in last else COLD)
+        last[a] = i
+    return out
+
+
+@given(traces)
+def test_matches_brute_force(trace):
+    got = stack_distances(np.array(trace, dtype=np.int64))
+    assert got.tolist() == brute_force(trace)
+
+
+@given(traces)
+def test_distance_bounded_by_window(trace):
+    d = stack_distances(np.array(trace, dtype=np.int64))
+    for i, dist in enumerate(d):
+        if dist != COLD:
+            assert 0 <= dist < i
+
+
+@given(traces)
+def test_cold_count_equals_distinct_addresses(trace):
+    h = reuse_histogram(np.array(trace, dtype=np.int64))
+    assert h.cold_accesses == len(set(trace))
+    assert h.total_accesses == len(trace)
+
+
+@given(traces)
+def test_misses_monotone_in_capacity(trace):
+    h = reuse_histogram(np.array(trace, dtype=np.int64))
+    misses = [h.misses_for_capacity(c) for c in (1, 2, 4, 8, 16, 32)]
+    assert misses == sorted(misses, reverse=True)
+
+
+@settings(max_examples=30)
+@given(traces, st.integers(min_value=1, max_value=16))
+def test_fully_associative_cache_matches_histogram(trace, lines):
+    t = np.array(trace, dtype=np.int64)
+    h = reuse_histogram(t)
+    cfg = CacheConfig(capacity_bytes=64 * lines, line_bytes=64, associativity=lines)
+    assert simulate_cache(t, cfg).misses == h.misses_for_capacity(lines)
+
+
+@settings(max_examples=30)
+@given(traces)
+def test_lru_inclusion_property(trace):
+    """A bigger fully-associative LRU cache never misses more (stack
+    inclusion property of LRU)."""
+    t = np.array(trace, dtype=np.int64)
+    small = CacheConfig(capacity_bytes=64 * 2, associativity=2)
+    big = CacheConfig(capacity_bytes=64 * 8, associativity=8)
+    assert simulate_cache(t, big).misses <= simulate_cache(t, small).misses

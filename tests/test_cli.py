@@ -1,0 +1,66 @@
+"""CLI (`python -m repro`) tests."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.graph.edgelist import EdgeList
+from repro.graph.io import save_npz, save_text
+
+
+def test_run_dataset(capsys):
+    rc = main(
+        ["run", "BFS", "--dataset", "livejournal", "--scale", "0.12",
+         "--partitions", "16", "--threads", "4"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "BFS on livejournal@0.12" in out
+    assert "simulated time" in out
+
+
+def test_run_graph_file_npz(tmp_path, small_rmat, capsys):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    rc = main(["run", "PR", "--graph", str(path), "--partitions", "8"])
+    assert rc == 0
+    assert "PR on" in capsys.readouterr().out
+
+
+def test_run_graph_file_text(tmp_path, capsys):
+    g = EdgeList.from_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    path = tmp_path / "g.txt"
+    save_text(path, g)
+    rc = main(["run", "CC", "--graph", str(path), "--partitions", "2"])
+    assert rc == 0
+
+
+def test_experiment_table2(capsys):
+    rc = main(["experiment", "table2"])
+    assert rc == 0
+    assert "PRDelta" in capsys.readouterr().out
+
+
+def test_experiment_fig3_small(capsys):
+    rc = main(["experiment", "fig3", "--scale", "0.12"])
+    assert rc == 0
+    assert "replication factor" in capsys.readouterr().out
+
+
+def test_info(capsys):
+    rc = main(["info"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out
+
+
+def test_all_experiments_registered():
+    for name in ("table1", "table2", "fig2", "fig3", "fig4", "fig5",
+                 "fig6", "fig7", "fig8", "fig9", "fig10",
+                 "ablation-thresholds", "ablation-balance"):
+        assert name in EXPERIMENTS
+
+
+def test_bad_algorithm_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "DIJKSTRA"])

@@ -1,0 +1,45 @@
+"""Smoke tests keeping the example scripts runnable."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "BFS from hub" in out
+    assert "simulated PageRank time" in out
+
+
+def test_road_network_routing_runs():
+    out = _run("road_network_routing.py")
+    assert "Bellman-Ford" in out
+    assert "sparse" in out
+
+
+@pytest.mark.slow
+def test_locality_study_runs():
+    out = _run("locality_study.py")
+    assert "partitioning vs locality" in out
+
+
+@pytest.mark.slow
+def test_social_network_analysis_runs():
+    out = _run("social_network_analysis.py")
+    assert "top-5 influential users" in out
+    assert "communities" in out
