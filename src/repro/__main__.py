@@ -30,6 +30,7 @@ from .algorithms import registry
 from .bench import figures
 from .core.engine import Engine
 from .core.options import EngineOptions
+from .errors import ReproError, ValidationError
 from .graph import io as graph_io
 from .layout.store import GraphStore
 from .machine.cost import CostModel, profile_store
@@ -67,6 +68,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--threads", type=int, default=48)
     run.add_argument("--edge-order", default="source",
                      choices=("source", "destination", "hilbert"))
+    run.add_argument("--checkpoint-dir",
+                     help="snapshot iterative-algorithm state here after each iteration")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the newest valid checkpoint in --checkpoint-dir")
+    run.add_argument("--checkpoint-every", type=int, default=1,
+                     help="checkpoint every N iterations (default 1)")
+    run.add_argument("--fault-plan",
+                     help="inject faults, e.g. 'worker_crash@2,partition@3:1,oom@4'")
+    run.add_argument("--max-retries", type=int, default=None,
+                     help="supervised retries per edge-map phase (enables the "
+                          "resilience supervisor; implied by --fault-plan)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -76,7 +88,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_resilience(args: argparse.Namespace):
+    """ResiliencePolicy from the CLI flags, or None when none were given."""
+    if args.fault_plan is None and args.max_retries is None:
+        return None
+    from .resilience import FaultPlan, ResiliencePolicy
+
+    try:
+        plan = FaultPlan.from_spec(args.fault_plan) if args.fault_plan else None
+    except ValueError as exc:
+        raise ValidationError(str(exc)) from exc
+    max_retries = args.max_retries if args.max_retries is not None else 3
+    return ResiliencePolicy(max_retries=max_retries, fault_plan=plan)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        raise ValidationError("--resume requires --checkpoint-dir")
     if args.graph:
         loader = graph_io.load_npz if args.graph.endswith(".npz") else graph_io.load_text
         edges = loader(args.graph)
@@ -95,11 +123,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         edge_order=args.edge_order,
     )
     build_s = time.perf_counter() - t0
-    engine = Engine(store, EngineOptions(num_threads=args.threads))
+    resilience = _build_resilience(args)
+    engine = Engine(store, EngineOptions(num_threads=args.threads), resilience=resilience)
+
+    session = None
+    if args.checkpoint_dir:
+        if not spec.supports_checkpoint:
+            print(f"note: {spec.code} is not checkpointable; running without checkpoints")
+        else:
+            from .resilience import CheckpointManager, CheckpointSession
+
+            manager = CheckpointManager(
+                args.checkpoint_dir,
+                fault_plan=resilience.fault_plan if resilience else None,
+            )
+            run_name = f"{spec.code}-{source_name}"
+            session = CheckpointSession(
+                manager, run_name, every=args.checkpoint_every, resume=args.resume
+            )
 
     t0 = time.perf_counter()
-    result = spec.run(engine)
+    if session is not None:
+        result = spec.run_resumable(engine, session)
+    else:
+        result = spec.run(engine)
     run_s = time.perf_counter() - t0
+    for line in engine.resilience_log:
+        print(f"resilience: {line}")
 
     from .bench.harness import Workbench
 
@@ -138,12 +188,16 @@ def _cmd_info() -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "info":
-        return _cmd_info()
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "info":
+            return _cmd_info()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     raise AssertionError("unreachable")
 
 

@@ -19,8 +19,24 @@ from ..core.stats import RunStats
 from ..errors import ConvergenceError
 from ..frontier.frontier import Frontier
 from ..graph.weights import WeightFn
+from ..resilience.checkpoint import CheckpointSession
 
-__all__ = ["bellman_ford", "BellmanFordResult", "BellmanFordOp"]
+__all__ = ["bellman_ford", "BellmanFordResult", "BellmanFordOp", "BellmanFordCheckpoint"]
+
+
+class BellmanFordCheckpoint:
+    """:class:`~repro.resilience.Checkpointable` adapter for the BF loop."""
+
+    def __init__(self, dist: np.ndarray) -> None:
+        self.dist = dist
+        self.frontier_ids = np.empty(0, dtype=VID_DTYPE)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {"dist": self.dist, "frontier": self.frontier_ids}
+
+    def load_state(self, arrays) -> None:
+        self.dist[...] = arrays["dist"]
+        self.frontier_ids = arrays["frontier"].astype(VID_DTYPE)
 
 
 class BellmanFordOp(EdgeOperator):
@@ -59,6 +75,7 @@ def bellman_ford(
     source: int,
     *,
     weight_fn: WeightFn | None = None,
+    checkpoint: CheckpointSession | None = None,
 ) -> BellmanFordResult:
     """Shortest-path distances from ``source`` under synthetic edge weights."""
     n = engine.num_vertices
@@ -71,6 +88,12 @@ def bellman_ford(
     frontier = Frontier.of(n, source)
     engine.reset_stats()
     rounds = 0
+    state = None
+    if checkpoint is not None:
+        state = BellmanFordCheckpoint(dist)
+        rounds = checkpoint.resume_state(state)
+        if rounds:
+            frontier = Frontier(n, sparse=state.frontier_ids)
     while not frontier.is_empty:
         frontier = engine.edge_map(frontier, op)
         rounds += 1
@@ -78,6 +101,9 @@ def bellman_ford(
             raise ConvergenceError(
                 "Bellman-Ford exceeded |V| rounds; negative cycle in weights?"
             )
+        if state is not None:
+            state.frontier_ids = frontier.as_sparse()
+            checkpoint.save_state(rounds, state)
     return BellmanFordResult(
         source=source, dist=dist, rounds=rounds, stats=engine.reset_stats()
     )

@@ -17,8 +17,30 @@ from ..core.engine import Engine
 from ..core.ops import EdgeOperator
 from ..core.stats import RunStats
 from ..frontier.frontier import Frontier
+from ..resilience.checkpoint import CheckpointSession
 
-__all__ = ["bfs", "BFSResult", "BFSOp"]
+__all__ = ["bfs", "BFSResult", "BFSOp", "BFSCheckpoint"]
+
+
+class BFSCheckpoint:
+    """:class:`~repro.resilience.Checkpointable` adapter for the BFS loop.
+
+    ``parent``/``level`` are restored in place (the operator and result
+    alias them); the frontier is stored as its sparse id array.
+    """
+
+    def __init__(self, parent: np.ndarray, level: np.ndarray) -> None:
+        self.parent = parent
+        self.level = level
+        self.frontier_ids = np.empty(0, dtype=VID_DTYPE)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {"parent": self.parent, "level": self.level, "frontier": self.frontier_ids}
+
+    def load_state(self, arrays) -> None:
+        self.parent[...] = arrays["parent"]
+        self.level[...] = arrays["level"]
+        self.frontier_ids = arrays["frontier"].astype(VID_DTYPE)
 
 
 class BFSOp(EdgeOperator):
@@ -55,8 +77,16 @@ class BFSResult:
         return self.level >= 0
 
 
-def bfs(engine: Engine, source: int) -> BFSResult:
-    """Run BFS from ``source`` over the engine's graph."""
+def bfs(
+    engine: Engine, source: int, *, checkpoint: CheckpointSession | None = None
+) -> BFSResult:
+    """Run BFS from ``source`` over the engine's graph.
+
+    With a ``checkpoint`` session, the loop state is snapshotted after
+    each completed round and (when the session has ``resume=True``)
+    restored from the newest valid checkpoint, making a killed run
+    restartable with bit-identical results.
+    """
     n = engine.num_vertices
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
@@ -68,11 +98,20 @@ def bfs(engine: Engine, source: int) -> BFSResult:
     frontier = Frontier.of(n, source)
     engine.reset_stats()
     rounds = 0
+    state = None
+    if checkpoint is not None:
+        state = BFSCheckpoint(parent, level)
+        rounds = checkpoint.resume_state(state)
+        if rounds:
+            frontier = Frontier(n, sparse=state.frontier_ids)
     while not frontier.is_empty:
         frontier = engine.edge_map(frontier, op)
         rounds += 1
         if not frontier.is_empty:
             level[frontier.as_sparse()] = rounds
+        if state is not None:
+            state.frontier_ids = frontier.as_sparse()
+            checkpoint.save_state(rounds, state)
     return BFSResult(
         source=source,
         parent=parent,

@@ -30,8 +30,29 @@ from ..core.ops import EdgeOperator
 from ..core.stats import RunStats
 from ..frontier.frontier import Frontier
 from ..graph.weights import edge_weights
+from ..resilience.checkpoint import CheckpointSession
 
-__all__ = ["belief_propagation", "BPResult", "BPOp", "default_priors"]
+__all__ = ["belief_propagation", "BPResult", "BPOp", "BPCheckpoint", "default_priors"]
+
+
+class BPCheckpoint:
+    """:class:`~repro.resilience.Checkpointable` adapter for the BP loop.
+
+    ``belief`` is rebound every iteration by the algorithm, so the loop
+    re-reads it from the adapter after resume; priors are recomputed
+    deterministically from the inputs and need no snapshotting.
+    """
+
+    def __init__(self, belief: np.ndarray) -> None:
+        self.belief = belief
+        self.last_delta = np.array([np.inf], dtype=VAL_DTYPE)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {"belief": self.belief, "last_delta": self.last_delta}
+
+    def load_state(self, arrays) -> None:
+        self.belief = arrays["belief"].astype(VAL_DTYPE)
+        self.last_delta[...] = arrays["last_delta"]
 
 
 def default_priors(num_vertices: int, *, seed: int = 0, strength: float = 0.8) -> np.ndarray:
@@ -85,6 +106,7 @@ def belief_propagation(
     eps: float = 0.1,
     iterations: int = 10,
     tolerance: float = 0.0,
+    checkpoint: CheckpointSession | None = None,
 ) -> BPResult:
     """Run ``iterations`` dense rounds of belief propagation."""
     n = engine.num_vertices
@@ -102,19 +124,31 @@ def belief_propagation(
     engine.reset_stats()
     it = 0
     delta = float("inf")
-    for it in range(1, iterations + 1):
-        log_msg_1 = np.zeros(n, dtype=VAL_DTYPE)
-        log_msg_0 = np.zeros(n, dtype=VAL_DTYPE)
-        engine.edge_map(frontier, BPOp(belief, log_msg_1, log_msg_0, eps))
-        z1 = log_prior_1 + log_msg_1
-        z0 = log_prior_0 + log_msg_0
-        # Clamp the log-odds: beyond +-50 the sigmoid saturates anyway and
-        # np.exp would overflow.
-        new_belief = 1.0 / (1.0 + np.exp(np.clip(z0 - z1, -50.0, 50.0)))
-        delta = float(np.abs(new_belief - belief).max())
-        belief = new_belief
-        if tolerance > 0.0 and delta < tolerance:
-            break
+    state = None
+    if checkpoint is not None:
+        state = BPCheckpoint(belief)
+        it = checkpoint.resume_state(state)
+        belief = state.belief
+        delta = float(state.last_delta[0])
+    converged_on_resume = it > 0 and tolerance > 0.0 and delta < tolerance
+    if not converged_on_resume:
+        for it in range(it + 1, iterations + 1):
+            log_msg_1 = np.zeros(n, dtype=VAL_DTYPE)
+            log_msg_0 = np.zeros(n, dtype=VAL_DTYPE)
+            engine.edge_map(frontier, BPOp(belief, log_msg_1, log_msg_0, eps))
+            z1 = log_prior_1 + log_msg_1
+            z0 = log_prior_0 + log_msg_0
+            # Clamp the log-odds: beyond +-50 the sigmoid saturates anyway and
+            # np.exp would overflow.
+            new_belief = 1.0 / (1.0 + np.exp(np.clip(z0 - z1, -50.0, 50.0)))
+            delta = float(np.abs(new_belief - belief).max())
+            belief = new_belief
+            if state is not None:
+                state.belief = belief
+                state.last_delta[0] = delta
+                checkpoint.save_state(it, state)
+            if tolerance > 0.0 and delta < tolerance:
+                break
     return BPResult(
         beliefs=belief, iterations=it, last_delta=delta, stats=engine.reset_stats()
     )

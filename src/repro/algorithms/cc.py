@@ -19,8 +19,24 @@ from ..core.engine import Engine
 from ..core.ops import EdgeOperator
 from ..core.stats import RunStats
 from ..frontier.frontier import Frontier
+from ..resilience.checkpoint import CheckpointSession
 
-__all__ = ["connected_components", "CCResult", "CCOp"]
+__all__ = ["connected_components", "CCResult", "CCOp", "CCCheckpoint"]
+
+
+class CCCheckpoint:
+    """:class:`~repro.resilience.Checkpointable` adapter for label propagation."""
+
+    def __init__(self, labels: np.ndarray) -> None:
+        self.labels = labels
+        self.frontier_ids = np.empty(0, dtype=VID_DTYPE)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {"labels": self.labels, "frontier": self.frontier_ids}
+
+    def load_state(self, arrays) -> None:
+        self.labels[...] = arrays["labels"]
+        self.frontier_ids = arrays["frontier"].astype(VID_DTYPE)
 
 
 class CCOp(EdgeOperator):
@@ -52,7 +68,12 @@ class CCResult:
         return int(np.unique(self.labels).size)
 
 
-def connected_components(engine: Engine, *, max_iterations: int | None = None) -> CCResult:
+def connected_components(
+    engine: Engine,
+    *,
+    max_iterations: int | None = None,
+    checkpoint: CheckpointSession | None = None,
+) -> CCResult:
     """Label-propagation components over the engine's graph."""
     n = engine.num_vertices
     labels = np.arange(n, dtype=VID_DTYPE)
@@ -60,8 +81,17 @@ def connected_components(engine: Engine, *, max_iterations: int | None = None) -
     frontier = Frontier.full(n)
     engine.reset_stats()
     iterations = 0
+    state = None
+    if checkpoint is not None:
+        state = CCCheckpoint(labels)
+        iterations = checkpoint.resume_state(state)
+        if iterations:
+            frontier = Frontier(n, sparse=state.frontier_ids)
     cap = max_iterations if max_iterations is not None else max(n, 1)
     while not frontier.is_empty and iterations < cap:
         frontier = engine.edge_map(frontier, op)
         iterations += 1
+        if state is not None:
+            state.frontier_ids = frontier.as_sparse()
+            checkpoint.save_state(iterations, state)
     return CCResult(labels=labels, iterations=iterations, stats=engine.reset_stats())

@@ -17,8 +17,29 @@ from ..core.engine import Engine
 from ..core.ops import EdgeOperator
 from ..core.stats import RunStats
 from ..frontier.frontier import Frontier
+from ..resilience.checkpoint import CheckpointSession
 
-__all__ = ["pagerank", "PageRankResult", "PageRankOp"]
+__all__ = ["pagerank", "PageRankResult", "PageRankOp", "PageRankCheckpoint"]
+
+
+class PageRankCheckpoint:
+    """:class:`~repro.resilience.Checkpointable` adapter for the PR loop.
+
+    The rank vector is restored in place; the last L1 delta rides along
+    as a 1-element array so a resumed run reports the same convergence
+    metadata as an uninterrupted one.
+    """
+
+    def __init__(self, ranks: np.ndarray) -> None:
+        self.ranks = ranks
+        self.last_delta = np.array([np.inf], dtype=VAL_DTYPE)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {"ranks": self.ranks, "last_delta": self.last_delta}
+
+    def load_state(self, arrays) -> None:
+        self.ranks[...] = arrays["ranks"]
+        self.last_delta[...] = arrays["last_delta"]
 
 
 class PageRankOp(EdgeOperator):
@@ -51,6 +72,7 @@ def pagerank(
     iterations: int = 10,
     tolerance: float = 0.0,
     handle_dangling: bool = True,
+    checkpoint: CheckpointSession | None = None,
 ) -> PageRankResult:
     """Power-method PageRank over the engine's graph.
 
@@ -69,16 +91,26 @@ def pagerank(
     frontier = Frontier.full(n)
     it = 0
     delta = float("inf")
-    for it in range(1, iterations + 1):
-        accum = np.zeros(n, dtype=VAL_DTYPE)
-        op = PageRankOp(ranks / safe_deg, accum)
-        engine.edge_map(frontier, op)
-        dangling_mass = float(ranks[dangling].sum()) if handle_dangling else 0.0
-        new_ranks = (1.0 - damping) / n + damping * (accum + dangling_mass / n)
-        delta = float(np.abs(new_ranks - ranks).sum())
-        ranks = new_ranks
-        if tolerance > 0.0 and delta < tolerance:
-            break
+    state = None
+    if checkpoint is not None:
+        state = PageRankCheckpoint(ranks)
+        it = checkpoint.resume_state(state)
+        delta = float(state.last_delta[0])
+    converged_on_resume = it > 0 and tolerance > 0.0 and delta < tolerance
+    if not converged_on_resume:
+        for it in range(it + 1, iterations + 1):
+            accum = np.zeros(n, dtype=VAL_DTYPE)
+            op = PageRankOp(ranks / safe_deg, accum)
+            engine.edge_map(frontier, op)
+            dangling_mass = float(ranks[dangling].sum()) if handle_dangling else 0.0
+            new_ranks = (1.0 - damping) / n + damping * (accum + dangling_mass / n)
+            delta = float(np.abs(new_ranks - ranks).sum())
+            ranks[...] = new_ranks
+            if state is not None:
+                state.last_delta[0] = delta
+                checkpoint.save_state(it, state)
+            if tolerance > 0.0 and delta < tolerance:
+                break
     return PageRankResult(
         ranks=ranks, iterations=it, last_delta=delta, stats=engine.reset_stats()
     )

@@ -25,8 +25,30 @@ from ..core.engine import Engine
 from ..core.ops import EdgeOperator
 from ..core.stats import RunStats
 from ..frontier.frontier import Frontier
+from ..resilience.checkpoint import CheckpointSession
 
-__all__ = ["pagerank_delta", "PageRankDeltaResult", "PRDeltaOp"]
+__all__ = ["pagerank_delta", "PageRankDeltaResult", "PRDeltaOp", "PRDeltaCheckpoint"]
+
+
+class PRDeltaCheckpoint:
+    """:class:`~repro.resilience.Checkpointable` adapter for the PRDelta loop.
+
+    ``p`` is restored in place; ``delta`` is rebound every round by the
+    algorithm, so the loop re-reads it from the adapter after resume.
+    """
+
+    def __init__(self, p: np.ndarray, delta: np.ndarray) -> None:
+        self.p = p
+        self.delta = delta
+        self.frontier_ids = np.empty(0, dtype=VID_DTYPE)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {"p": self.p, "delta": self.delta, "frontier": self.frontier_ids}
+
+    def load_state(self, arrays) -> None:
+        self.p[...] = arrays["p"]
+        self.delta = arrays["delta"].astype(VAL_DTYPE)
+        self.frontier_ids = arrays["frontier"].astype(VID_DTYPE)
 
 
 class PRDeltaOp(EdgeOperator):
@@ -57,6 +79,7 @@ def pagerank_delta(
     damping: float = 0.85,
     epsilon: float = 1e-7,
     max_iterations: int = 100,
+    checkpoint: CheckpointSession | None = None,
 ) -> PageRankDeltaResult:
     """Delta-forwarding PageRank over the engine's graph.
 
@@ -73,6 +96,13 @@ def pagerank_delta(
     frontier = Frontier.full(n)
     engine.reset_stats()
     rounds = 0
+    state = None
+    if checkpoint is not None:
+        state = PRDeltaCheckpoint(p, delta)
+        rounds = checkpoint.resume_state(state)
+        if rounds:
+            delta = state.delta
+            frontier = Frontier(n, sparse=state.frontier_ids)
     while not frontier.is_empty and rounds < max_iterations:
         accum = np.zeros(n, dtype=VAL_DTYPE)
         op = PRDeltaOp(delta / safe_deg, accum)
@@ -85,4 +115,8 @@ def pagerank_delta(
         ids = received.as_sparse()
         significant = np.abs(delta[ids]) > epsilon * np.maximum(p[ids], 1e-300)
         frontier = Frontier(n, sparse=ids[significant])
+        if state is not None:
+            state.delta = delta
+            state.frontier_ids = frontier.as_sparse()
+            checkpoint.save_state(rounds, state)
     return PageRankDeltaResult(ranks=p, iterations=rounds, stats=engine.reset_stats())

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from ..core.engine import Engine
+from ..resilience.checkpoint import CheckpointSession
 from .bc import betweenness
 from .bellman_ford import bellman_ford
 from .bfs import bfs
@@ -54,6 +55,15 @@ class AlgorithmSpec:
     #: the cost model's ``update_scale`` (BP evaluates message functions
     #: with transcendentals per edge; SPMV/BF do a multiply-add).
     update_scale: float = 1.0
+    #: checkpoint-aware runner (iterative algorithms only): takes the
+    #: engine plus a :class:`~repro.resilience.CheckpointSession` and
+    #: supports resume-from-latest.  ``None`` for one-shot algorithms.
+    run_resumable: Callable[[Engine, CheckpointSession], object] | None = None
+
+    @property
+    def supports_checkpoint(self) -> bool:
+        """Whether this algorithm implements the Checkpointable protocol."""
+        return self.run_resumable is not None
 
 
 ALGORITHMS: dict[str, AlgorithmSpec] = {
@@ -68,21 +78,25 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "CC", "connected components using label propagation",
             "backward", "edge", "edges",
             lambda eng: connected_components(eng),
+            run_resumable=lambda eng, ck: connected_components(eng, checkpoint=ck),
         ),
         AlgorithmSpec(
             "PR", "PageRank, power method, 10 iterations",
             "backward", "edge", "edges",
             lambda eng: pagerank(eng, iterations=10),
+            run_resumable=lambda eng, ck: pagerank(eng, iterations=10, checkpoint=ck),
         ),
         AlgorithmSpec(
             "BFS", "breadth-first search",
             "backward", "vertex", "vertices",
             lambda eng: bfs(eng, default_source(eng)),
+            run_resumable=lambda eng, ck: bfs(eng, default_source(eng), checkpoint=ck),
         ),
         AlgorithmSpec(
             "PRDelta", "PageRank forwarding delta-updates between vertices",
             "forward", "edge", "edges",
             lambda eng: pagerank_delta(eng, epsilon=1e-4),
+            run_resumable=lambda eng, ck: pagerank_delta(eng, epsilon=1e-4, checkpoint=ck),
         ),
         AlgorithmSpec(
             "SPMV", "sparse matrix-vector multiplication (1 iteration)",
@@ -95,12 +109,16 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "forward", "vertex", "vertices",
             lambda eng: bellman_ford(eng, default_source(eng)),
             update_scale=1.5,
+            run_resumable=lambda eng, ck: bellman_ford(
+                eng, default_source(eng), checkpoint=ck
+            ),
         ),
         AlgorithmSpec(
             "BP", "Bayesian belief propagation, 10 iterations",
             "forward", "edge", "edges",
             lambda eng: belief_propagation(eng),
             update_scale=80.0,
+            run_resumable=lambda eng, ck: belief_propagation(eng, checkpoint=ck),
         ),
     ]
 }

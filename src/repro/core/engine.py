@@ -16,13 +16,24 @@ and is never specified by the algorithm programmer.
 
 Every call records an :class:`~repro.core.stats.EdgeMapStats`, which the
 machine model converts into simulated execution time.
+
+When constructed with a :class:`~repro.resilience.ResiliencePolicy` the
+engine additionally *supervises* every ``edge_map``: injected or real
+:class:`~repro.errors.WorkerFailure`/:class:`~repro.errors.CapacityError`
+faults roll the operator back to its pre-phase snapshot and re-execute
+the phase (capped exponential backoff), and repeated capacity faults
+walk the degradation ladder — halving the partition count and
+re-deriving the layouts — instead of dying.
 """
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from .._types import VID_DTYPE
+from ..errors import CapacityError, RetryExhausted, WorkerFailure
 from ..frontier.density import DensityClass, classify_frontier
 from ..frontier.frontier import Frontier
 from ..layout.pcsr import PartitionedCSR
@@ -34,15 +45,29 @@ from .stats import EdgeMapStats, RunStats, VertexMapStats
 
 __all__ = ["Engine"]
 
+log = logging.getLogger(__name__)
+
 
 class Engine:
     """Frontier-based graph processing over a :class:`GraphStore`."""
 
-    def __init__(self, store: GraphStore, options: EngineOptions | None = None) -> None:
+    def __init__(
+        self,
+        store: GraphStore,
+        options: EngineOptions | None = None,
+        *,
+        resilience=None,
+    ) -> None:
         self.store = store
         self.options = options or EngineOptions()
         self.stats = RunStats()
         self._pcsr: PartitionedCSR | None = None
+        #: optional :class:`~repro.resilience.ResiliencePolicy`.
+        self.resilience = resilience
+        #: global edge-map counter, the key fault plans address phases by.
+        self._edge_map_index = 0
+        #: human-readable recovery/degradation history of this engine.
+        self.resilience_log: list[str] = []
 
     # ------------------------------------------------------------------
     @property
@@ -73,7 +98,14 @@ class Engine:
             raise ValueError("frontier size does not match the graph")
         if frontier.is_empty:
             return Frontier.empty(self.num_vertices)
+        if self.resilience is None:
+            result = self._edge_map_dispatch(frontier, op)
+            self._edge_map_index += 1
+            return result
+        return self._edge_map_supervised(frontier, op)
 
+    def _edge_map_dispatch(self, frontier: Frontier, op: EdgeOperator) -> Frontier:
+        """One un-supervised edge-map attempt (Algorithm 2 dispatch)."""
         density = classify_frontier(
             frontier, self.store.out_degrees, self.num_edges, self.options.thresholds
         )
@@ -92,6 +124,80 @@ class Engine:
         if layout == "pcsr":
             return self._edge_map_partitioned_csr(frontier, op, density)
         raise AssertionError(f"unreachable layout {layout!r}")
+
+    # ------------------------------------------------------------------
+    # supervised execution (resilience)
+    # ------------------------------------------------------------------
+    @property
+    def _fault_plan(self):
+        return self.resilience.fault_plan if self.resilience is not None else None
+
+    def _before_partition(self, partition: int) -> None:
+        """Fault-injection hook called at the start of each partition task."""
+        plan = self._fault_plan
+        if plan is not None:
+            plan.before_partition(self._edge_map_index, partition)
+
+    def _edge_map_supervised(self, frontier: Frontier, op: EdgeOperator) -> Frontier:
+        """Run one edge-map phase under the retry/degradation supervisor.
+
+        Faults roll ``op`` and the phase statistics back to the pre-phase
+        snapshot before the retry, so a recovered phase is bit-identical
+        to a fault-free one.
+        """
+        policy = self.resilience
+        snapshot = op.snapshot()
+        stats_mark = len(self.stats.edge_maps)
+        attempt = 0
+        while True:
+            try:
+                plan = self._fault_plan
+                if plan is not None:
+                    plan.before_edge_map(self._edge_map_index)
+                result = self._edge_map_dispatch(frontier, op)
+                self._edge_map_index += 1
+                return result
+            except (WorkerFailure, CapacityError) as exc:
+                op.restore(snapshot)
+                del self.stats.edge_maps[stats_mark:]
+                self.resilience_log.append(
+                    f"edge-map {self._edge_map_index} attempt {attempt} faulted: {exc}"
+                )
+                log.warning("edge-map %d faulted: %s", self._edge_map_index, exc)
+                if isinstance(exc, CapacityError):
+                    self._degrade_partitions(policy.min_partitions)
+                if attempt >= policy.max_retries:
+                    raise RetryExhausted(
+                        f"edge-map {self._edge_map_index} failed after "
+                        f"{attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                policy.wait(attempt)
+                attempt += 1
+
+    def _degrade_partitions(self, min_partitions: int) -> bool:
+        """Halve the partition count and re-derive every layout.
+
+        The graceful-degradation answer to :class:`CapacityError`: fewer
+        partitions shrink the bookkeeping footprint (and the PCSR's
+        replication, §II.E) at the price of locality.  Returns False when
+        already at the floor.
+        """
+        p = self.store.num_partitions
+        new_p = max(min_partitions, p // 2)
+        if new_p >= p:
+            self.resilience_log.append(
+                f"cannot degrade below {p} partition(s); floor is {min_partitions}"
+            )
+            return False
+        self.store = GraphStore.build(
+            self.store.edges,
+            num_partitions=new_p,
+            edge_order=self.store.coo.edge_order,
+        )
+        self._pcsr = None
+        self.resilience_log.append(f"degraded partitions {p} -> {new_p} after CapacityError")
+        log.warning("degraded partitions %d -> %d after CapacityError", p, new_p)
+        return True
 
     # -- sparse: forward traversal of the unpartitioned CSR -------------
     def _edge_map_sparse_csr(
@@ -137,6 +243,7 @@ class Engine:
         active_edges = 0
         scanned = 0
         for i in range(p):
+            self._before_partition(i)
             lo, hi = ranges.vertex_range(i)
             if lo == hi:
                 continue
@@ -188,6 +295,7 @@ class Engine:
         part_touched = np.zeros(p, dtype=np.int64)
         active_edges = 0
         for i in range(p):
+            self._before_partition(i)
             src, dst = coo.partition_edges(i)
             part_examined[i] = src.size
             live = bitmap[src]
@@ -238,6 +346,7 @@ class Engine:
         scanned = 0
         active_ids = frontier.as_sparse()
         for i, part in enumerate(pcsr.parts):
+            self._before_partition(i)
             if active_ids.size * 8 < part.num_stored_vertices:
                 # Sparse frontier: binary-search each active vertex in this
                 # partition's stored slots instead of scanning them all.

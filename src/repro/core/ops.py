@@ -50,3 +50,28 @@ class EdgeOperator(abc.ABC):
         when building the next frontier).
         """
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # resilience hooks: phase-level rollback for supervised retry
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copy of every mutable array this operator holds.
+
+        The engine's supervisor takes a snapshot before a fault-injected
+        edge-map phase so a partially applied phase can be rolled back and
+        re-executed from scratch (the retry is then bit-identical to a
+        fault-free phase).  The default covers operators whose state is
+        plain numpy-array attributes; operators with other mutable state
+        must override both hooks.
+        """
+        return {
+            key: value.copy()
+            for key, value in vars(self).items()
+            if isinstance(value, np.ndarray)
+        }
+
+    def restore(self, saved: dict[str, np.ndarray]) -> None:
+        """Roll the arrays captured by :meth:`snapshot` back **in place**,
+        so algorithm-held references to the same arrays see the rollback."""
+        for key, value in saved.items():
+            getattr(self, key)[...] = value

@@ -27,3 +27,32 @@ class CapacityError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its iteration cap."""
+
+
+class ValidationError(GraphFormatError):
+    """An input failed the strict validation gate.
+
+    Subclasses :class:`GraphFormatError` so callers that already guard
+    loads with the broader type keep working; raised for out-of-range or
+    negative vertex ids, NaN/inf weights, and truncated files.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written or read."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed its CRC32 / framing integrity check."""
+
+
+class WorkerFailure(ReproError):
+    """A (simulated) worker died while executing an edge-map or partition task.
+
+    Raised by fault injection; the engine supervisor treats it as
+    recoverable and re-executes the phase on the surviving workers.
+    """
+
+
+class RetryExhausted(ReproError):
+    """The supervisor gave up after its retry budget; the cause is chained."""

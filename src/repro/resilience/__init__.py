@@ -1,0 +1,23 @@
+"""Resilient execution runtime: checkpoint/restore, fault injection,
+retry/degradation supervision and strict input validation.
+
+See ``DESIGN.md`` ("Resilience") for the checkpoint file format, the
+fault-plan schema and the degradation ladder.
+"""
+
+from .checkpoint import Checkpointable, CheckpointManager, CheckpointSession
+from .faults import FAULT_KINDS, FaultEvent, FaultPlan
+from .supervisor import ResiliencePolicy
+from .validation import validate_edgelist, validate_weights
+
+__all__ = [
+    "Checkpointable",
+    "CheckpointManager",
+    "CheckpointSession",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "ResiliencePolicy",
+    "validate_edgelist",
+    "validate_weights",
+]

@@ -1,0 +1,212 @@
+"""Iteration-level checkpoint/restore for the iterative algorithms.
+
+Format
+------
+One file per (run name, iteration): ``<name>.it<NNNNNNNN>.ckpt``, laid
+out as a small framed container::
+
+    8 bytes   magic  b"RPRCKPT1"
+    4 bytes   CRC32 of the payload (big-endian)
+    8 bytes   payload length        (big-endian)
+    N bytes   payload: an ``.npz`` archive of the state arrays
+
+Writes go to a ``.tmp`` sibling which is fsynced and ``os.replace``d
+into place, so a crash mid-write never leaves a half file under the
+final name; a crash mid-rename leaves either the old or the new file.
+Loads verify the magic, length and CRC32 and raise the typed
+:class:`~repro.errors.CheckpointCorruptError` on any mismatch —
+:meth:`CheckpointManager.load_latest` then falls back to the newest
+*valid* checkpoint so a corrupted tail costs one iteration, not the run.
+
+Algorithms participate through the tiny :class:`Checkpointable`
+protocol (a dict of named state arrays out, the same dict restored in
+place) plus a :class:`CheckpointSession` binding one run name to a
+manager and a save cadence.
+"""
+
+from __future__ import annotations
+
+import io
+import logging
+import os
+import re
+import struct
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Protocol
+
+import numpy as np
+
+from ..errors import CheckpointCorruptError, CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from .faults import FaultPlan
+
+__all__ = ["Checkpointable", "CheckpointManager", "CheckpointSession"]
+
+log = logging.getLogger(__name__)
+
+_MAGIC = b"RPRCKPT1"
+_HEADER = struct.Struct(">IQ")  # crc32, payload length
+_FILE_RE = re.compile(r"^(?P<name>.+)\.it(?P<step>\d{8})\.ckpt$")
+
+
+class Checkpointable(Protocol):
+    """State an iterative algorithm exposes for checkpoint/restore."""
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The named arrays that fully determine the rest of the run."""
+        ...
+
+    def load_state(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Restore from arrays previously returned by :meth:`state_arrays`."""
+        ...
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name) or "run"
+
+
+class CheckpointManager:
+    """Atomic, integrity-checked checkpoint files under one directory."""
+
+    def __init__(
+        self, directory: str | os.PathLike, *, fault_plan: "FaultPlan | None" = None
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: optional fault plan whose ``corrupt_checkpoint`` events flip a
+        #: payload byte right after a save (testing the CRC path).
+        self.fault_plan = fault_plan
+
+    # ------------------------------------------------------------------
+    def path_for(self, name: str, step: int) -> Path:
+        """The checkpoint file for ``(name, step)``."""
+        return self.directory / f"{_safe_name(name)}.it{step:08d}.ckpt"
+
+    def steps(self, name: str) -> list[int]:
+        """All checkpointed steps for ``name``, ascending."""
+        safe = _safe_name(name)
+        out = []
+        for path in self.directory.glob(f"{safe}.it*.ckpt"):
+            m = _FILE_RE.match(path.name)
+            if m and m.group("name") == safe:
+                out.append(int(m.group("step")))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    def save(self, name: str, step: int, arrays: Mapping[str, np.ndarray]) -> Path:
+        """Atomically write one checkpoint; returns its path."""
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **{k: np.asarray(v) for k, v in arrays.items()})
+        payload = buf.getvalue()
+        final = self.path_for(name, step)
+        tmp = final.with_name(final.name + ".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(_MAGIC)
+                fh.write(_HEADER.pack(zlib.crc32(payload), len(payload)))
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except OSError as exc:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise CheckpointError(f"cannot write checkpoint {final}: {exc}") from exc
+        if self.fault_plan is not None and self.fault_plan.take_checkpoint_corruption(step):
+            self._corrupt(final)
+        return final
+
+    def _corrupt(self, path: Path) -> None:
+        """Flip the last payload byte in place (fault injection only)."""
+        with open(path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)[0]
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last ^ 0xFF]))
+        log.warning("fault injection corrupted checkpoint %s", path)
+
+    # ------------------------------------------------------------------
+    def load(self, name: str, step: int) -> dict[str, np.ndarray]:
+        """Load and verify one checkpoint; raises on any integrity failure."""
+        path = self.path_for(name, step)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint at {path}") from None
+        header_len = len(_MAGIC) + _HEADER.size
+        if len(raw) < header_len or raw[: len(_MAGIC)] != _MAGIC:
+            raise CheckpointCorruptError(f"{path}: bad magic or truncated header")
+        crc, length = _HEADER.unpack_from(raw, len(_MAGIC))
+        payload = raw[header_len:]
+        if len(payload) != length:
+            raise CheckpointCorruptError(
+                f"{path}: truncated payload ({len(payload)} of {length} bytes)"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CheckpointCorruptError(f"{path}: CRC32 mismatch")
+        with np.load(io.BytesIO(payload)) as data:
+            return {k: data[k] for k in data.files}
+
+    def load_latest(
+        self, name: str, *, allow_fallback: bool = True
+    ) -> tuple[int, dict[str, np.ndarray]] | None:
+        """Newest valid checkpoint as ``(step, arrays)``, or ``None``.
+
+        With ``allow_fallback`` (the default) corrupt checkpoints are
+        skipped — newest first — with a warning; without it the first
+        corruption raises.
+        """
+        for step in reversed(self.steps(name)):
+            try:
+                return step, self.load(name, step)
+            except CheckpointCorruptError:
+                if not allow_fallback:
+                    raise
+                log.warning(
+                    "checkpoint %s step %d is corrupt; falling back", name, step
+                )
+        return None
+
+
+class CheckpointSession:
+    """One named run's binding of a manager, save cadence and resume flag."""
+
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        name: str,
+        *,
+        every: int = 1,
+        resume: bool = False,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.manager = manager
+        self.name = name
+        self.every = every
+        self.resume = resume
+
+    def resume_state(self, state: Checkpointable) -> int:
+        """Restore ``state`` from the newest valid checkpoint.
+
+        Returns the restored iteration number, or 0 when resume is
+        disabled or no checkpoint exists (start from scratch).
+        """
+        if not self.resume:
+            return 0
+        found = self.manager.load_latest(self.name)
+        if found is None:
+            return 0
+        step, arrays = found
+        state.load_state(arrays)
+        log.info("resumed %s from iteration %d", self.name, step)
+        return step
+
+    def save_state(self, step: int, state: Checkpointable) -> None:
+        """Checkpoint ``state`` if ``step`` falls on the save cadence."""
+        if step % self.every == 0:
+            self.manager.save(self.name, step, state.state_arrays())

@@ -1,0 +1,164 @@
+"""Deterministic, seedable fault injection.
+
+A :class:`FaultPlan` is an explicit list of :class:`FaultEvent`\\ s keyed
+by the engine's global edge-map index (and, for partition-task faults,
+the partition number).  Each event fires exactly once, so a supervised
+retry of the same phase succeeds — mirroring a transient worker failure.
+Plans are deterministic: the same plan against the same run injects the
+same faults, which is what lets the fault matrix assert bit-identical
+recovery.
+
+Fault kinds
+-----------
+``worker_crash``
+    Raise :class:`~repro.errors.WorkerFailure` before the edge-map runs
+    (the whole phase is lost and re-queued).
+``partition``
+    Raise :class:`WorkerFailure` at the start of one partition task
+    inside the edge-map (a partially applied phase; the supervisor rolls
+    the operator back before retrying).
+``oom``
+    Raise :class:`~repro.errors.CapacityError` — the paper's §IV.A
+    256 GiB wall — triggering the supervisor's degradation ladder.
+``corrupt_checkpoint``
+    Flip a byte of the checkpoint written at that step, exercising the
+    CRC32 integrity check and fallback-to-older-checkpoint path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CapacityError, WorkerFailure
+
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+
+FAULT_KINDS = ("worker_crash", "partition", "oom", "corrupt_checkpoint")
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault: ``kind`` at edge-map ``iteration`` (or checkpoint step)."""
+
+    kind: str
+    iteration: int
+    partition: int | None = None
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected {FAULT_KINDS}")
+        if self.iteration < 0:
+            raise ValueError("fault iteration must be non-negative")
+        if (self.partition is not None) != (self.kind == "partition"):
+            raise ValueError("partition= is required for (and only for) 'partition' faults")
+
+    def spec(self) -> str:
+        """The compact ``kind@iteration[:partition]`` form parsed by :meth:`FaultPlan.from_spec`."""
+        suffix = f":{self.partition}" if self.partition is not None else ""
+        return f"{self.kind}@{self.iteration}{suffix}"
+
+
+class FaultPlan:
+    """An ordered collection of one-shot fault events."""
+
+    def __init__(self, events: list[FaultEvent] | None = None) -> None:
+        self.events: list[FaultEvent] = list(events or [])
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse ``"worker_crash@2,partition@3:1,oom@4,corrupt_checkpoint@5"``."""
+        events = []
+        for item in filter(None, (s.strip() for s in spec.split(","))):
+            try:
+                kind, _, where = item.partition("@")
+                if not _:
+                    raise ValueError("missing '@'")
+                it_s, _, part_s = where.partition(":")
+                partition = int(part_s) if part_s else None
+                events.append(FaultEvent(kind, int(it_s), partition))
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault spec {item!r} (expected kind@iteration[:partition]): {exc}"
+                ) from None
+        return cls(events)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        iterations: int,
+        num_faults: int = 2,
+        kinds: tuple[str, ...] = ("worker_crash", "partition", "oom"),
+        max_partition: int = 4,
+    ) -> "FaultPlan":
+        """Deterministic seeded plan: ``num_faults`` events over ``iterations``."""
+        rng = np.random.default_rng(seed)
+        events = []
+        for _ in range(num_faults):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            iteration = int(rng.integers(max(iterations, 1)))
+            partition = int(rng.integers(max_partition)) if kind == "partition" else None
+            events.append(FaultEvent(kind, iteration, partition))
+        return cls(events)
+
+    def to_spec(self) -> str:
+        """Round-trippable compact form."""
+        return ",".join(ev.spec() for ev in self.events)
+
+    # ------------------------------------------------------------------
+    # injection hooks (called by the engine / checkpoint manager)
+    # ------------------------------------------------------------------
+    def before_edge_map(self, iteration: int) -> None:
+        """Fire any pending whole-phase fault for this edge-map index."""
+        for ev in self.events:
+            if ev.fired or ev.iteration != iteration or ev.partition is not None:
+                continue
+            if ev.kind == "worker_crash":
+                ev.fired = True
+                raise WorkerFailure(f"injected worker crash at edge-map {iteration}")
+            if ev.kind == "oom":
+                ev.fired = True
+                raise CapacityError(f"injected OOM at edge-map {iteration}")
+
+    def before_partition(self, iteration: int, partition: int) -> None:
+        """Fire any pending partition-task fault for this (phase, partition)."""
+        for ev in self.events:
+            if (
+                not ev.fired
+                and ev.kind == "partition"
+                and ev.iteration == iteration
+                and ev.partition == partition
+            ):
+                ev.fired = True
+                raise WorkerFailure(
+                    f"injected partition-task failure at edge-map {iteration}, "
+                    f"partition {partition}"
+                )
+
+    def take_checkpoint_corruption(self, step: int) -> bool:
+        """Consume a pending ``corrupt_checkpoint`` event for this step."""
+        for ev in self.events:
+            if not ev.fired and ev.kind == "corrupt_checkpoint" and ev.iteration == step:
+                ev.fired = True
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def pending(self) -> list[FaultEvent]:
+        """Events that have not fired yet."""
+        return [ev for ev in self.events if not ev.fired]
+
+    def reset(self) -> None:
+        """Re-arm every event (for re-running the same plan)."""
+        for ev in self.events:
+            ev.fired = False
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.to_spec()!r})"

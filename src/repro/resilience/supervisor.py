@@ -1,0 +1,79 @@
+"""Retry/backoff policy and the graceful-degradation ladder.
+
+The engine consults a :class:`ResiliencePolicy` whenever an edge-map
+phase raises a recoverable fault (:class:`~repro.errors.WorkerFailure`
+or :class:`~repro.errors.CapacityError`):
+
+* the operator's mutable state is rolled back to its pre-phase snapshot
+  and the phase's statistics are discarded, so a retry re-executes the
+  phase from scratch — the property that makes recovery bit-identical;
+* retries are spaced by capped exponential backoff (``base * factor^k``
+  clamped to ``cap``; the default base of 0 makes test runs sleep-free);
+* a :class:`CapacityError` additionally walks the degradation ladder:
+  the partition count is halved (and the PCSR re-derived) before the
+  retry, modelling GridGraph-style memory-budget-driven degradation
+  instead of dying at the paper's 256 GiB wall;
+* when the budget is spent the supervisor raises the typed
+  :class:`~repro.errors.RetryExhausted` with the last fault chained.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .faults import FaultPlan
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass
+class ResiliencePolicy:
+    """Engine-level supervision knobs.
+
+    Attributes
+    ----------
+    max_retries:
+        Recovery attempts per edge-map phase before
+        :class:`~repro.errors.RetryExhausted`; 0 disables recovery (the
+        first fault is terminal), which simulates a hard kill.
+    backoff_base, backoff_factor, backoff_cap:
+        Capped exponential backoff in seconds: attempt ``k`` sleeps
+        ``min(cap, base * factor**k)``.  ``base=0`` (default) disables
+        sleeping so simulated runs stay fast.
+    min_partitions:
+        Floor of the degradation ladder; halving stops here.
+    fault_plan:
+        Optional :class:`FaultPlan` consulted before each edge-map and
+        partition task.
+    sleep:
+        Injection point for tests; defaults to :func:`time.sleep`.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 30.0
+    min_partitions: int = 1
+    fault_plan: FaultPlan | None = None
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff parameters must be non-negative (factor >= 1)")
+        if self.min_partitions < 1:
+            raise ValueError("min_partitions must be >= 1")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based), capped."""
+        return min(self.backoff_cap, self.backoff_base * self.backoff_factor**attempt)
+
+    def wait(self, attempt: int) -> float:
+        """Sleep the backoff delay; returns the delay used."""
+        delay = self.backoff_delay(attempt)
+        if delay > 0:
+            self.sleep(delay)
+        return delay

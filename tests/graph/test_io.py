@@ -60,3 +60,107 @@ def test_text_empty_graph_roundtrip(tmp_path):
     g = load_text(path)
     assert g.num_vertices == 3
     assert g.num_edges == 0
+
+
+# ----------------------------------------------------------------------
+# strict header parsing and validation (ISSUE 1 satellite)
+# ----------------------------------------------------------------------
+from repro.errors import ValidationError
+
+
+def test_header_missing_count_is_typed(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("# vertices\n0 1\n")
+    with pytest.raises(GraphFormatError, match="missing its count"):
+        load_text(path)
+
+
+def test_header_non_integer_count_is_typed(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("# vertices lots\n0 1\n")
+    with pytest.raises(GraphFormatError, match="not an integer"):
+        load_text(path)
+
+
+def test_header_negative_count_is_typed(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("# vertices -3\n")
+    with pytest.raises(GraphFormatError, match="negative vertex count"):
+        load_text(path)
+
+
+def test_row_id_beyond_header_count_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("# vertices 4 edges 2\n0 1\n2 7\n")
+    with pytest.raises(ValidationError, match="out of range"):
+        load_text(path)
+
+
+def test_huge_id_rejected_before_int32_narrowing(tmp_path):
+    """An id past 2**31 must raise, not wrap negative via int32 narrowing."""
+    path = tmp_path / "huge.txt"
+    path.write_text(f"# vertices 4 edges 1\n0 {2**33}\n")
+    with pytest.raises(ValidationError):
+        load_text(path)
+
+
+def test_negative_id_rejected(tmp_path):
+    path = tmp_path / "neg.txt"
+    path.write_text("0 1\n-1 2\n")
+    with pytest.raises(ValidationError, match="negative"):
+        load_text(path)
+
+
+def test_malformed_row_is_typed(tmp_path):
+    path = tmp_path / "junk.txt"
+    path.write_text("0 1\nnot numbers\n")
+    with pytest.raises(GraphFormatError):
+        load_text(path)
+
+
+def test_truncated_npz_is_typed(tmp_path, small_rmat):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(ValidationError, match="truncated or corrupt"):
+        load_npz(path)
+
+
+def test_garbage_npz_is_typed(tmp_path):
+    path = tmp_path / "g.npz"
+    path.write_bytes(b"this is not a zip archive")
+    with pytest.raises(ValidationError):
+        load_npz(path)
+
+
+def test_load_npz_missing_file_still_filenotfound(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_npz(tmp_path / "absent.npz")
+
+
+# ----------------------------------------------------------------------
+# crash-safe saves (ISSUE 1 satellite)
+# ----------------------------------------------------------------------
+def test_save_npz_leaves_no_tmp(tmp_path, small_rmat):
+    save_npz(tmp_path / "g.npz", small_rmat)
+    assert [p.name for p in tmp_path.iterdir()] == ["g.npz"]
+
+
+def test_save_text_leaves_no_tmp(tmp_path, small_rmat):
+    save_text(tmp_path / "g.txt", small_rmat)
+    assert [p.name for p in tmp_path.iterdir()] == ["g.txt"]
+
+
+def test_save_npz_appends_extension_like_numpy(tmp_path, small_rmat):
+    save_npz(tmp_path / "noext", small_rmat)
+    assert (tmp_path / "noext.npz").exists()
+    assert load_npz(tmp_path / "noext.npz").num_edges == small_rmat.num_edges
+
+
+def test_save_replaces_existing_file_atomically(tmp_path, small_rmat):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    smaller = EdgeList(3, [0], [1])
+    save_npz(path, smaller)
+    assert load_npz(path).num_edges == 1

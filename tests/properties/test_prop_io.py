@@ -1,0 +1,65 @@
+"""Round-trip IO property tests over adversarial inputs (ISSUE 1 satellite)."""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.io import load_npz, load_text, save_npz, save_text
+
+
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return EdgeList(n, np.array(src, dtype=np.int32), np.array(dst, dtype=np.int32))
+
+
+def _roundtrip(g: EdgeList, saver, loader, suffix: str) -> EdgeList:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"g{suffix}"
+        saver(path, g)
+        return loader(path)
+
+
+def _assert_equal(a: EdgeList, b: EdgeList) -> None:
+    assert a.num_vertices == b.num_vertices
+    assert np.array_equal(a.src, b.src)
+    assert np.array_equal(a.dst, b.dst)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_lists())
+def test_npz_roundtrip_property(g):
+    _assert_equal(_roundtrip(g, save_npz, load_npz, ".npz"), g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_lists())
+def test_text_roundtrip_property(g):
+    _assert_equal(_roundtrip(g, save_text, load_text, ".txt"), g)
+
+
+ADVERSARIAL = {
+    "empty graph": EdgeList(3, [], []),
+    "single self-loop": EdgeList(1, [0], [0]),
+    "max-id vertex": EdgeList(5, [4, 0], [4, 4]),
+    "duplicated edges": EdgeList(4, [1, 1, 1, 2], [2, 2, 2, 1]),
+    "isolated tail vertices": EdgeList(10, [0], [1]),
+}
+
+
+@pytest.mark.parametrize("g", ADVERSARIAL.values(), ids=ADVERSARIAL.keys())
+def test_adversarial_npz_roundtrip(g):
+    _assert_equal(_roundtrip(g, save_npz, load_npz, ".npz"), g)
+
+
+@pytest.mark.parametrize("g", ADVERSARIAL.values(), ids=ADVERSARIAL.keys())
+def test_adversarial_text_roundtrip(g):
+    _assert_equal(_roundtrip(g, save_text, load_text, ".txt"), g)

@@ -1,0 +1,62 @@
+"""Existing-but-untested error paths (ISSUE 1 satellite).
+
+The paper's Twitter partition wall (:class:`CapacityError` beyond the
+256 GiB machine) and the Bellman-Ford iteration cap
+(:class:`ConvergenceError`) both existed as raise sites without tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bellman_ford import bellman_ford
+from repro.core import Engine, EngineOptions
+from repro.errors import CapacityError, ConvergenceError, ReproError
+from repro.graph.edgelist import EdgeList
+from repro.layout import GraphStore
+from repro.partition.storage import StorageModel
+
+_GIB = 1 << 30
+
+# Table I: Twitter has 61.6M vertices and 1.47B directed edges.
+TWITTER = StorageModel(num_vertices=61_578_415, num_edges=1_468_365_182)
+DRAM_256 = 256 * _GIB
+
+
+def test_twitter_dense_csr_hits_the_partition_wall():
+    """Dense partitioned CSR grows linearly in p and exhausts 256 GiB."""
+    fits = TWITTER.csr_dense_bytes(48)
+    TWITTER.assert_fits(fits, DRAM_256, what="dense CSR, 48 partitions")
+    # Find the first partition count past the wall and assert the typed error.
+    wall = next(
+        p for p in range(48, 4096) if TWITTER.csr_dense_bytes(p) > DRAM_256
+    )
+    with pytest.raises(CapacityError, match="GiB"):
+        TWITTER.assert_fits(
+            TWITTER.csr_dense_bytes(wall), DRAM_256, what=f"dense CSR, {wall} partitions"
+        )
+
+
+def test_capacity_error_is_typed_and_descriptive():
+    with pytest.raises(CapacityError) as info:
+        TWITTER.assert_fits(2 * DRAM_256, DRAM_256, what="oversized layout")
+    assert isinstance(info.value, ReproError)
+    assert "oversized layout" in str(info.value)
+
+
+def test_three_copy_scheme_always_fits_twitter():
+    """§III.B: the production scheme is independent of p — no wall."""
+    TWITTER.assert_fits(TWITTER.graphgrind_v2_bytes(), DRAM_256)
+
+
+def test_bellman_ford_convergence_error_on_negative_cycle():
+    """A negative-weight cycle never converges; the |V|-round cap fires."""
+    n = 6
+    ring = EdgeList(n, np.arange(n), np.roll(np.arange(n), -1))
+    engine = Engine(GraphStore.build(ring, num_partitions=2), EngineOptions(num_threads=2))
+    negative = lambda src, dst: np.full(src.shape, -1.0)
+    with pytest.raises(ConvergenceError, match="negative cycle"):
+        bellman_ford(engine, 0, weight_fn=negative)
+
+
+def test_convergence_error_is_typed():
+    assert issubclass(ConvergenceError, ReproError)

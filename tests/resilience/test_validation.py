@@ -1,0 +1,82 @@
+"""Strict input validation: validate_edgelist / validate_weights."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, ReproError, ValidationError
+from repro.resilience import validate_edgelist, validate_weights
+
+
+def ids(*values):
+    return np.array(values, dtype=np.int64)
+
+
+def test_valid_input_passes():
+    validate_edgelist(4, ids(0, 1, 3), ids(1, 2, 0))
+
+
+def test_empty_input_passes():
+    validate_edgelist(0, ids(), ids())
+    validate_edgelist(None, ids(), ids())
+
+
+def test_negative_id_rejected():
+    with pytest.raises(ValidationError, match="negative vertex id"):
+        validate_edgelist(4, ids(0, -2), ids(1, 2))
+
+
+def test_negative_id_rejected_even_without_vertex_count():
+    with pytest.raises(ValidationError):
+        validate_edgelist(None, ids(-1), ids(0))
+
+
+def test_out_of_range_id_rejected():
+    with pytest.raises(ValidationError, match="out of range"):
+        validate_edgelist(4, ids(0, 1), ids(1, 4))
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValidationError, match="truncated"):
+        validate_edgelist(4, ids(0, 1, 2), ids(1, 2))
+
+
+def test_non_integer_ids_rejected():
+    with pytest.raises(ValidationError, match="integers"):
+        validate_edgelist(4, np.array([0.5, 1.0]), ids(1, 2))
+
+
+def test_negative_vertex_count_rejected():
+    with pytest.raises(ValidationError):
+        validate_edgelist(-1, ids(), ids())
+
+
+def test_source_prefixes_message():
+    with pytest.raises(ValidationError, match="edges.txt"):
+        validate_edgelist(2, ids(5), ids(0), source="edges.txt")
+
+
+def test_validation_error_is_typed():
+    assert issubclass(ValidationError, GraphFormatError)
+    assert issubclass(ValidationError, ReproError)
+
+
+# ----------------------------------------------------------------------
+# weights
+# ----------------------------------------------------------------------
+def test_finite_weights_pass():
+    validate_weights(np.array([0.5, 1.5]), num_edges=2)
+
+
+def test_nan_weight_rejected():
+    with pytest.raises(ValidationError, match="non-finite"):
+        validate_weights(np.array([1.0, np.nan]))
+
+
+def test_inf_weight_rejected():
+    with pytest.raises(ValidationError, match="non-finite"):
+        validate_edgelist(3, ids(0, 1), ids(1, 2), weights=np.array([np.inf, 1.0]))
+
+
+def test_truncated_weights_rejected():
+    with pytest.raises(ValidationError, match="truncated weights"):
+        validate_edgelist(3, ids(0, 1), ids(1, 2), weights=np.array([1.0]))
