@@ -17,6 +17,14 @@ Subcommands
 
 ``info``
     Show the dataset registry and algorithm table.
+
+``lint``
+    Run graphlint's static operator-contract rules (GL001-GL005) over
+    source trees, optionally followed by the dynamic shadow-memory
+    sanitizer; exits non-zero on any finding (the CI gate)::
+
+        python -m repro lint
+        python -m repro lint --sanitize src/repro
 """
 
 from __future__ import annotations
@@ -85,6 +93,19 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", type=float, default=None)
 
     sub.add_parser("info", help="list datasets and algorithms")
+
+    lint = sub.add_parser(
+        "lint", help="static operator-contract analysis (+ dynamic sanitizer)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--sanitize", action="store_true",
+        help="also run the shadow-memory race sanitizer and batch-invariance "
+             "checks over the registered algorithms on a small graph",
+    )
     return parser
 
 
@@ -178,6 +199,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint as graphlint
+
+    findings = graphlint.lint_paths(args.paths or None)
+    for finding in findings:
+        print(finding.render())
+    total = len(findings)
+    if args.sanitize:
+        from .analysis import sanitizer
+
+        dynamic = sanitizer.run_sanitizer()
+        for finding in dynamic:
+            print(finding.render())
+        total += len(dynamic)
+        print(f"sanitizer: {len(dynamic)} finding(s) across "
+              f"{len(registry.names())} algorithms")
+    print(f"graphlint: {total} finding(s)")
+    return 1 if total else 0
+
+
 def _cmd_info() -> int:
     print(figures.table1_graphs(scale=0.25).render())
     print()
@@ -195,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "info":
             return _cmd_info()
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -31,6 +31,8 @@ __all__ = ["betweenness", "BCResult", "SigmaOp", "DependencyOp"]
 class SigmaOp(EdgeOperator):
     """Forward phase: accumulate path counts into unvisited destinations."""
 
+    combine = "add"
+
     def __init__(self, sigma: np.ndarray, visited: np.ndarray) -> None:
         self.sigma = sigma
         self.visited = visited
@@ -53,6 +55,8 @@ class DependencyOp(EdgeOperator):
     Receives transpose edges ``(v, u)`` with ``v`` one level deeper than
     ``u``; only tree edges (``level[u] == level[v] - 1``) contribute.
     """
+
+    combine = "add"
 
     def __init__(self, sigma: np.ndarray, dep: np.ndarray, level: np.ndarray) -> None:
         self.sigma = sigma

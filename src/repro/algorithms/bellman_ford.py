@@ -42,6 +42,8 @@ class BellmanFordCheckpoint:
 class BellmanFordOp(EdgeOperator):
     """Relax ``dist[v] = min(dist[v], dist[u] + w(u, v))``."""
 
+    combine = "min"
+
     def __init__(self, dist: np.ndarray, weight_fn: WeightFn) -> None:
         self.dist = dist
         self.weight_fn = weight_fn

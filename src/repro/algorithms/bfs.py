@@ -44,7 +44,13 @@ class BFSCheckpoint:
 
 
 class BFSOp(EdgeOperator):
-    """Claim unvisited destinations: ``parent[v] = u`` for the first edge in."""
+    """Claim unvisited destinations: ``parent[v] = u`` for the first edge in.
+
+    ``combine`` stays ``None``: a first-writer claim is not a commutative
+    reduction — it is race-free only because the partitioned layouts give
+    each partition a disjoint destination range, which the shadow
+    sanitizer verifies by write-set disjointness rather than by combine.
+    """
 
     def __init__(self, parent: np.ndarray) -> None:
         self.parent = parent

@@ -68,6 +68,8 @@ def default_priors(num_vertices: int, *, seed: int = 0, strength: float = 0.8) -
 class BPOp(EdgeOperator):
     """Accumulate log-messages for both states into the destinations."""
 
+    combine = "add"
+
     def __init__(
         self,
         belief: np.ndarray,

@@ -42,6 +42,8 @@ class CCCheckpoint:
 class CCOp(EdgeOperator):
     """Propagate minimum labels to destinations; activate changed vertices."""
 
+    combine = "min"
+
     def __init__(self, labels: np.ndarray) -> None:
         self.labels = labels
 

@@ -28,6 +28,8 @@ __all__ = ["kcore", "KCoreResult", "PeelOp"]
 class PeelOp(EdgeOperator):
     """Decrement residual degrees of the peeled vertices' neighbours."""
 
+    combine = "add"
+
     def __init__(self, residual: np.ndarray, alive: np.ndarray) -> None:
         self.residual = residual
         self.alive = alive

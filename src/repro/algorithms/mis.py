@@ -27,6 +27,8 @@ UNDECIDED, IN_SET, OUT = 0, 1, 2
 class MaxPriorityOp(EdgeOperator):
     """Record, per vertex, the best priority among undecided neighbours."""
 
+    combine = "max"
+
     def __init__(self, priority: np.ndarray, best: np.ndarray, state: np.ndarray) -> None:
         self.priority = priority
         self.best = best
@@ -76,6 +78,8 @@ def maximal_independent_set(engine: Engine, *, seed: int = 0) -> MISResult:
         out_mask = np.zeros(n, dtype=bool)
 
         class _KnockOp(EdgeOperator):
+            combine = "or"
+
             def cond(self, dst_ids: np.ndarray) -> np.ndarray:
                 return state[dst_ids] == UNDECIDED
 

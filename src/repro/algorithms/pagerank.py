@@ -45,6 +45,8 @@ class PageRankCheckpoint:
 class PageRankOp(EdgeOperator):
     """Accumulate ``rank[u] / outdeg(u)`` into each destination."""
 
+    combine = "add"
+
     def __init__(self, contrib: np.ndarray, accum: np.ndarray) -> None:
         #: per-vertex contribution ``rank[u] / outdeg(u)``, precomputed.
         self.contrib = contrib

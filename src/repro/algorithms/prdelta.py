@@ -54,6 +54,8 @@ class PRDeltaCheckpoint:
 class PRDeltaOp(EdgeOperator):
     """Accumulate ``delta[u] / outdeg(u)`` into each destination."""
 
+    combine = "add"
+
     def __init__(self, scaled_delta: np.ndarray, accum: np.ndarray) -> None:
         self.scaled_delta = scaled_delta
         self.accum = accum

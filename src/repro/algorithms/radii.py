@@ -25,6 +25,8 @@ __all__ = ["estimate_radii", "RadiiResult", "BitOrOp"]
 class BitOrOp(EdgeOperator):
     """OR source bitmasks into destinations; activate changed ones."""
 
+    combine = "or"
+
     def __init__(self, bits: np.ndarray, nxt: np.ndarray) -> None:
         self.bits = bits
         self.nxt = nxt

@@ -10,6 +10,7 @@ adapter used by every benchmark.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
@@ -26,7 +27,30 @@ from .pagerank import pagerank
 from .prdelta import pagerank_delta
 from .spmv import spmv
 
-__all__ = ["AlgorithmSpec", "ALGORITHMS", "names", "get", "default_source"]
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "names",
+    "get",
+    "default_source",
+    "result_arrays",
+]
+
+
+def result_arrays(result: object) -> dict[str, np.ndarray]:
+    """The numpy-array fields of an algorithm result, by field name.
+
+    Every registered runner returns a result dataclass whose payload
+    (ranks, labels, parents, distances, ...) lives in ndarray fields;
+    metadata like :class:`~repro.core.stats.RunStats` is skipped.  The
+    sanitizer compares these arrays bit-for-bit across partition
+    schedules, so extraction must be exhaustive and deterministic.
+    """
+    if dataclasses.is_dataclass(result):
+        items = [(f.name, getattr(result, f.name)) for f in dataclasses.fields(result)]
+    else:
+        items = sorted(vars(result).items())
+    return {name: value for name, value in items if isinstance(value, np.ndarray)}
 
 
 def default_source(engine: Engine) -> int:

@@ -1,0 +1,31 @@
+"""Finding records shared by the static lint pass and the sanitizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "render_findings"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a precise source location.
+
+    Ordered by (path, line, col, code) so reports are stable regardless
+    of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the compiler-style report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Multi-line report of all findings, sorted by location."""
+    return "\n".join(f.render() for f in sorted(findings))

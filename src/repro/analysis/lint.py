@@ -1,0 +1,169 @@
+"""Graphlint: AST-based operator-contract lint over repro source trees.
+
+Discovers :class:`~repro.core.ops.EdgeOperator` subclasses without
+importing the linted code (pure :mod:`ast`), runs the GL-rule catalogue
+against every module, and honours per-line suppressions::
+
+    np.power.at(state, dst, 2.0)  # graphlint: disable=GL002
+
+A directive on a comment-only line suppresses the following line; a bare
+``# graphlint: disable`` suppresses every rule for that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding
+from .rules import ModuleContext, OperatorClass, all_rules
+
+__all__ = ["default_root", "lint_paths", "lint_file", "lint_source"]
+
+#: textual base-class names that mark a class as an edge operator.
+_OPERATOR_BASES = frozenset({"EdgeOperator"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*graphlint:\s*disable(?:=(?P<codes>[A-Za-z0-9_,\s]+))?"
+)
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory — what CI lints."""
+    return Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# operator discovery
+# ----------------------------------------------------------------------
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def discover_operators(tree: ast.Module) -> list[OperatorClass]:
+    """EdgeOperator subclasses in a module, including nested classes and
+    same-module transitive subclasses (``class A(EdgeOperator)``,
+    ``class B(A)``)."""
+    classes = [node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)]
+    operator_names = set(_OPERATOR_BASES)
+    matched: dict[str, ast.ClassDef] = {}
+    # Fixpoint over same-module inheritance chains.
+    changed = True
+    while changed:
+        changed = False
+        for node in classes:
+            if node.name in matched:
+                continue
+            if _base_names(node) & operator_names:
+                matched[node.name] = node
+                operator_names.add(node.name)
+                changed = True
+    out = []
+    for node in matched.values():
+        methods = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        out.append(OperatorClass(node=node, methods=methods))
+    return sorted(out, key=lambda op: op.node.lineno)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map of 1-based line number -> suppressed codes (``None`` = all)."""
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes_text = match.group("codes")
+        codes = (
+            None
+            if codes_text is None
+            else frozenset(c.strip().upper() for c in codes_text.split(",") if c.strip())
+        )
+        target = lineno + 1 if _COMMENT_ONLY_RE.match(line) else lineno
+        existing = table.get(target, frozenset())
+        if codes is None or existing is None:
+            table[target] = None
+        else:
+            table[target] = existing | codes
+    return table
+
+
+def _is_suppressed(finding: Finding, table: dict[int, frozenset[str] | None]) -> bool:
+    if finding.line not in table:
+        return False
+    codes = table[finding.line]
+    return codes is None or finding.code in codes
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one source string; ``path`` is used only for reporting."""
+    tree = ast.parse(source, filename=path)
+    module = ModuleContext(
+        path=path,
+        tree=tree,
+        source=source,
+        operators=discover_operators(tree),
+    )
+    table = _suppressions(source)
+    findings: list[Finding] = []
+    for rule in all_rules():
+        for finding in rule.check(module):
+            if not _is_suppressed(finding, table):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(path: Path) -> list[Finding]:
+    """Lint one file."""
+    return lint_source(path.read_text(encoding="utf-8"), path=_display(path))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or "__pycache__" in resolved.parts:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def lint_paths(paths: Sequence[Path | str] | None = None) -> list[Finding]:
+    """Lint files/directories (default: the installed repro package)."""
+    roots = [Path(p) for p in paths] if paths else [default_root()]
+    findings: list[Finding] = []
+    for file in iter_python_files(roots):
+        findings.extend(lint_file(file))
+    return sorted(findings)
+
+
+def _display(path: Path) -> str:
+    """cwd-relative path when possible (stable, clickable report lines)."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)

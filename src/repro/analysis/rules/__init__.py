@@ -1,0 +1,115 @@
+"""Graphlint rule infrastructure and registry.
+
+Each rule is a class with a ``code`` (``GL001``...), a one-line
+``summary`` (shown by ``python -m repro lint --rules``), and a
+``check(module)`` generator yielding :class:`~repro.analysis.findings.Finding`
+objects.  Rules receive a :class:`ModuleContext` with the parsed AST and
+the :class:`EdgeOperator` subclasses discovered in the module, so every
+rule stays a pure function of one file — no imports are executed.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+
+__all__ = [
+    "ModuleContext",
+    "OperatorClass",
+    "Rule",
+    "all_rules",
+    "attr_chain",
+    "rule_catalogue",
+]
+
+
+@dataclass
+class OperatorClass:
+    """One ``EdgeOperator`` subclass found in a module (possibly nested)."""
+
+    node: ast.ClassDef
+    #: direct methods by name (no inheritance resolution).
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def defines(self, *names: str) -> bool:
+        """Whether the class body defines every listed method."""
+        return all(n in self.methods for n in names)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    operators: list[OperatorClass]
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node``'s source span."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+class Rule(abc.ABC):
+    """Base class for lint rules; subclasses set ``code`` and ``summary``."""
+
+    code: str
+    summary: str
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+
+def attr_chain(node: ast.AST) -> str | None:
+    """Dotted name of an attribute chain, e.g. ``np.add.at``.
+
+    Returns ``None`` when any link is not a plain Name/Attribute (calls,
+    subscripts, ...), so rules match only statically-resolvable names.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    from .cond import CondMaskRule
+    from .determinism import NondeterminismRule
+    from .scatter import DirectScatterRule, NonCommutativeScatterRule
+    from .state import MutableStateRule
+
+    rules: list[Rule] = [
+        DirectScatterRule(),
+        NonCommutativeScatterRule(),
+        MutableStateRule(),
+        CondMaskRule(),
+        NondeterminismRule(),
+    ]
+    return sorted(rules, key=lambda r: r.code)
+
+
+def rule_catalogue() -> Iterator[tuple[str, str]]:
+    """(code, summary) pairs of every registered rule."""
+    for rule in all_rules():
+        yield rule.code, rule.summary

@@ -1,0 +1,90 @@
+"""GL004 — ``cond()`` must return a mask *parallel to* ``dst_ids``.
+
+The kernels consume ``cond``'s result as a boolean filter over the
+queried ids.  An implementation that returns an *index* array (from
+``np.flatnonzero``, ``np.unique``, one-argument ``np.where``, or by
+subscripting ``dst_ids`` itself) still "works" under fancy indexing but
+selects the wrong edges.  The runtime guard
+(:func:`repro.core.ops.validated_cond`) catches this on execution; this
+rule catches it before the operator ever runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+from . import ModuleContext, OperatorClass, Rule, attr_chain
+
+__all__ = ["CondMaskRule"]
+
+#: calls that produce index arrays / reshaped selections, never a
+#: parallel boolean mask.
+_SHAPE_CHANGING = frozenset({
+    "flatnonzero", "nonzero", "argwhere", "unique", "compress", "extract",
+})
+
+
+class CondMaskRule(Rule):
+    """GL004: cond() can return something not parallel to dst_ids."""
+
+    code = "GL004"
+    summary = (
+        "cond() returns an index array or reshaped selection instead of a "
+        "boolean mask parallel to dst_ids"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for op in module.operators:
+            fn = op.methods.get("cond")
+            if fn is None:
+                continue
+            # the ids parameter is the first argument after self.
+            args = fn.args.args
+            ids_param = args[1].arg if len(args) > 1 else None
+            yield from self._check_returns(module, op, fn, ids_param)
+
+    def _check_returns(
+        self,
+        module: ModuleContext,
+        op: OperatorClass,
+        fn: ast.FunctionDef,
+        ids_param: str | None,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if isinstance(node.value, ast.Constant) and node.value.value is None:
+                continue
+            offender = self._offending_expr(node.value, ids_param)
+            if offender is not None:
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"{op.name}.cond() returns {offender}; the kernels expect "
+                    "None or a boolean mask parallel to dst_ids — an index "
+                    "array silently selects the wrong edges",
+                )
+
+    @staticmethod
+    def _offending_expr(expr: ast.AST, ids_param: str | None) -> str | None:
+        """Description of the first mask-shape violation in ``expr``, if any."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain is None:
+                    continue
+                tail = chain.split(".")[-1]
+                if tail in _SHAPE_CHANGING:
+                    return f"an index array from {chain}()"
+                if tail == "where" and len(node.args) == 1:
+                    return f"an index tuple from one-argument {chain}()"
+            elif (
+                isinstance(node, ast.Subscript)
+                and ids_param is not None
+                and isinstance(node.value, ast.Name)
+                and node.value.id == ids_param
+            ):
+                return f"a subset of {ids_param} (ids, not a parallel mask)"
+        return None

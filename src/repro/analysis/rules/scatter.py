@@ -1,0 +1,146 @@
+"""GL001/GL002 — scatter-update contract inside ``process_edges``.
+
+The engine batches edges with *duplicate destinations*, so accumulation
+must go through numpy's unbuffered scatter ufuncs (``np.add.at`` and
+friends).  Direct fancy-indexed accumulation (``state[dst] += x``)
+buffers: numpy materialises ``state[dst]`` once, applies the update, and
+writes back — every duplicate destination beyond the first is silently
+dropped.  And a ``.at`` scatter is only partition-order-safe when its
+ufunc is a commutative-associative reduction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+from . import ModuleContext, OperatorClass, Rule, attr_chain
+
+__all__ = ["DirectScatterRule", "NonCommutativeScatterRule", "ORDER_SAFE_AT_UFUNCS"]
+
+#: ufuncs whose ``.at`` scatter commutes across the engine's partition
+#: schedule (commutative-associative reductions, plus add/subtract and
+#: multiply whose per-destination application order the destination-
+#: partitioned layouts keep fixed).
+ORDER_SAFE_AT_UFUNCS = frozenset({
+    "add", "subtract", "multiply",
+    "minimum", "maximum", "fmin", "fmax",
+    "bitwise_or", "bitwise_and", "bitwise_xor",
+    "logical_or", "logical_and",
+    "gcd", "lcm",
+})
+
+#: min/max-style calls that read-modify-write through a fancy index when
+#: assigned back over the same subscript (``x[dst] = np.minimum(x[dst], v)``).
+_MINMAX_CALLS = frozenset({"minimum", "maximum", "fmin", "fmax"})
+
+
+def _is_fancy_index(node: ast.Subscript) -> bool:
+    """Whether the subscript index can be an array (not a scalar/slice)."""
+    index = node.slice
+    if isinstance(index, (ast.Slice, ast.Constant)):
+        return False
+    if isinstance(index, ast.UnaryOp) and isinstance(index.operand, ast.Constant):
+        return False
+    return True
+
+
+def _subscript_key(node: ast.Subscript) -> str:
+    """Structural identity of a subscript, for same-target comparison.
+
+    Dumps base and index separately: dumping the whole node would bake in
+    the Load/Store context and never match a read against a write target.
+    """
+    return f"{ast.dump(node.value)}[{ast.dump(node.slice)}]"
+
+
+class DirectScatterRule(Rule):
+    """GL001: fancy-indexed accumulation where a scatter ufunc is required."""
+
+    code = "GL001"
+    summary = (
+        "direct fancy-indexed accumulation in process_edges drops duplicate "
+        "destinations; use an unbuffered scatter ufunc (np.add.at, np.minimum.at, ...)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for op in module.operators:
+            fn = op.methods.get("process_edges")
+            if fn is None:
+                continue
+            yield from self._check_method(module, op, fn)
+
+    def _check_method(
+        self, module: ModuleContext, op: OperatorClass, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Subscript):
+                if _is_fancy_index(node.target):
+                    yield module.finding(
+                        self.code,
+                        node,
+                        f"{op.name}.process_edges accumulates through a fancy "
+                        "index; duplicate destinations in the batch are "
+                        "silently dropped — use the matching np.<ufunc>.at scatter",
+                    )
+            elif isinstance(node, ast.Assign):
+                yield from self._check_assign(module, op, node)
+
+    def _check_assign(
+        self, module: ModuleContext, op: OperatorClass, node: ast.Assign
+    ) -> Iterator[Finding]:
+        # x[dst] = np.minimum(x[dst], v) — a buffered read-modify-write.
+        targets = [
+            t for t in node.targets
+            if isinstance(t, ast.Subscript) and _is_fancy_index(t)
+        ]
+        if not targets or not isinstance(node.value, ast.Call):
+            return
+        chain = attr_chain(node.value.func)
+        if chain is None or chain.split(".")[-1] not in _MINMAX_CALLS:
+            return
+        target_keys = {_subscript_key(t) for t in targets}
+        for arg in node.value.args:
+            if isinstance(arg, ast.Subscript) and _subscript_key(arg) in target_keys:
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"{op.name}.process_edges reduces through a fancy index "
+                    f"({chain} over the assignment target); duplicate "
+                    "destinations are dropped — use np."
+                    f"{chain.split('.')[-1]}.at",
+                )
+                return
+
+
+class NonCommutativeScatterRule(Rule):
+    """GL002: ``.at`` scatter with a ufunc that is not partition-order-safe."""
+
+    code = "GL002"
+    summary = (
+        "scatter ufunc is not a known commutative-associative reduction; "
+        "the result depends on the partition visit order"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None or not chain.endswith(".at"):
+                continue
+            parts = chain.split(".")
+            # np.<ufunc>.at / numpy.<ufunc>.at — bare <name>.at is too
+            # ambiguous (pandas .at accessors etc.) to judge statically.
+            if len(parts) != 3 or parts[0] not in ("np", "numpy"):
+                continue
+            ufunc = parts[1]
+            if ufunc not in ORDER_SAFE_AT_UFUNCS:
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"{chain} is not a known partition-order-safe reduction; "
+                    "the paper's partitioned kernels may visit partitions in "
+                    "any order, so scatters must be commutative-associative",
+                )

@@ -1,0 +1,75 @@
+"""GL003 — operator state the resilience snapshot cannot see.
+
+``EdgeOperator.snapshot()`` copies only numpy-array attributes; an
+operator that stashes a dict/list/set (or builds one in ``__init__``)
+and keeps the inherited hooks will be *silently under-snapshotted*: a
+supervised rollback restores the arrays but not the container, so a
+retried phase replays against corrupted state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from . import ModuleContext, Rule, attr_chain
+
+__all__ = ["MutableStateRule"]
+
+#: constructors of containers the default snapshot misses.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque",
+})
+
+_MUTABLE_LITERALS = (
+    ast.Dict, ast.List, ast.Set,
+    ast.DictComp, ast.ListComp, ast.SetComp,
+)
+
+
+def _is_mutable_container(expr: ast.AST) -> bool:
+    if isinstance(expr, _MUTABLE_LITERALS):
+        return True
+    if isinstance(expr, ast.Call):
+        chain = attr_chain(expr.func)
+        if chain is not None and chain.split(".")[-1] in _MUTABLE_FACTORIES:
+            return True
+    return False
+
+
+class MutableStateRule(Rule):
+    """GL003: mutable non-ndarray attribute without snapshot/restore override."""
+
+    code = "GL003"
+    summary = (
+        "operator holds mutable non-ndarray state but inherits "
+        "snapshot()/restore(); supervised rollback silently misses it"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for op in module.operators:
+            if op.defines("snapshot", "restore"):
+                continue
+            init = op.methods.get("__init__")
+            if init is None:
+                continue
+            for node in ast.walk(init):
+                if not isinstance(node, ast.Assign):
+                    continue
+                self_attrs = [
+                    t.attr
+                    for t in node.targets
+                    if isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ]
+                if self_attrs and _is_mutable_container(node.value):
+                    yield module.finding(
+                        self.code,
+                        node,
+                        f"{op.name}.{self_attrs[0]} is a mutable container the "
+                        "default snapshot() cannot copy; override snapshot() "
+                        "and restore() to cover it",
+                    )

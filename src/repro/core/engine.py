@@ -33,13 +33,13 @@ import logging
 import numpy as np
 
 from .._types import VID_DTYPE
-from ..errors import CapacityError, RetryExhausted, WorkerFailure
+from ..errors import CapacityError, RetryExhausted, ValidationError, WorkerFailure
 from ..frontier.density import DensityClass, classify_frontier
 from ..frontier.frontier import Frontier
 from ..layout.pcsr import PartitionedCSR
 from ..layout.store import GraphStore
 from .gather import gather_adjacency
-from .ops import EdgeOperator
+from .ops import EdgeOperator, snapshot_blind_spots, validated_cond
 from .options import EngineOptions
 from .stats import EdgeMapStats, RunStats, VertexMapStats
 
@@ -146,6 +146,14 @@ class Engine:
         to a fault-free one.
         """
         policy = self.resilience
+        blind = snapshot_blind_spots(op)
+        if blind:
+            raise ValidationError(
+                f"{type(op).__name__} holds mutable non-array state "
+                f"({', '.join(sorted(blind))}) and does not override "
+                "snapshot()/restore(); supervised rollback would silently "
+                "miss it — override both hooks to cover that state"
+            )
         snapshot = op.snapshot()
         stats_mark = len(self.stats.edge_maps)
         attempt = 0
@@ -199,6 +207,23 @@ class Engine:
         log.warning("degraded partitions %d -> %d after CapacityError", p, new_p)
         return True
 
+    # ------------------------------------------------------------------
+    def _partition_schedule(self, p: int):
+        """Partition visit order per ``options.partition_order``.
+
+        Any order is correct for contract-abiding operators (the
+        partitioned layouts hand each partition a disjoint destination
+        range); ``reverse``/``shuffle`` exist so the sanitizer can verify
+        that insensitivity bit-for-bit.
+        """
+        mode = self.options.partition_order
+        if mode == "forward":
+            return range(p)
+        if mode == "reverse":
+            return range(p - 1, -1, -1)
+        rng = np.random.default_rng(self.options.partition_order_seed)
+        return rng.permutation(p).tolist()
+
     # -- sparse: forward traversal of the unpartitioned CSR -------------
     def _edge_map_sparse_csr(
         self, frontier: Frontier, op: EdgeOperator, density: DensityClass
@@ -207,7 +232,7 @@ class Engine:
         csr = self.store.csr
         src, dst = gather_adjacency(csr.index, csr.neighbors, active)
         examined = int(dst.size)
-        cond = op.cond(dst)
+        cond = validated_cond(op, dst)
         if cond is not None:
             src, dst = src[cond], dst[cond]
         activated = op.process_edges(src, dst)
@@ -242,13 +267,13 @@ class Engine:
         examined = 0
         active_edges = 0
         scanned = 0
-        for i in range(p):
+        for i in self._partition_schedule(p):
             self._before_partition(i)
             lo, hi = ranges.vertex_range(i)
             if lo == hi:
                 continue
             candidates = np.arange(lo, hi, dtype=VID_DTYPE)
-            cond = op.cond(candidates)
+            cond = validated_cond(op, candidates)
             if cond is not None:
                 candidates = candidates[cond]
             scanned += hi - lo
@@ -294,12 +319,12 @@ class Engine:
         part_examined = np.zeros(p, dtype=np.int64)
         part_touched = np.zeros(p, dtype=np.int64)
         active_edges = 0
-        for i in range(p):
+        for i in self._partition_schedule(p):
             self._before_partition(i)
             src, dst = coo.partition_edges(i)
             part_examined[i] = src.size
             live = bitmap[src]
-            cond = op.cond(dst)
+            cond = validated_cond(op, dst)
             if cond is not None:
                 live = live & cond
             src, dst = src[live], dst[live]
@@ -345,7 +370,8 @@ class Engine:
         examined = 0
         scanned = 0
         active_ids = frontier.as_sparse()
-        for i, part in enumerate(pcsr.parts):
+        for i in self._partition_schedule(p):
+            part = pcsr.parts[i]
             self._before_partition(i)
             if active_ids.size * 8 < part.num_stored_vertices:
                 # Sparse frontier: binary-search each active vertex in this
@@ -366,7 +392,7 @@ class Engine:
             src = part.vertex_ids[slot_keys]
             part_examined[i] = dst.size
             examined += int(dst.size)
-            cond = op.cond(dst)
+            cond = validated_cond(op, dst)
             if cond is not None:
                 src, dst = src[cond], dst[cond]
             active_edges += int(src.size)

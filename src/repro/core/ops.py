@@ -21,7 +21,27 @@ import abc
 
 import numpy as np
 
-__all__ = ["EdgeOperator"]
+from ..errors import OperatorContractError
+
+__all__ = [
+    "EdgeOperator",
+    "COMMUTATIVE_COMBINES",
+    "MUTABLE_NON_ARRAY_TYPES",
+    "snapshot_blind_spots",
+    "validated_cond",
+]
+
+#: Symbolic reduction names whose scatter result is insensitive to the
+#: order partitions are visited in (commutative-associative combines).
+#: Operators declare theirs via :attr:`EdgeOperator.combine`; the shadow
+#: sanitizer treats cross-partition write-write conflicts as benign only
+#: for these.
+COMMUTATIVE_COMBINES = frozenset({"add", "min", "max", "or", "and", "xor"})
+
+#: Built-in container types the default :meth:`EdgeOperator.snapshot`
+#: silently misses — the supervised engine refuses to run operators that
+#: hold these without overriding the snapshot/restore pair.
+MUTABLE_NON_ARRAY_TYPES = (dict, list, set, bytearray)
 
 
 class EdgeOperator(abc.ABC):
@@ -30,6 +50,15 @@ class EdgeOperator(abc.ABC):
     Subclasses hold references to the algorithm's state arrays and mutate
     them in :meth:`process_edges`.
     """
+
+    #: Symbolic name of the scatter reduction this operator applies to its
+    #: state arrays — one of :data:`COMMUTATIVE_COMBINES` — or ``None``
+    #: when the update is not a commutative-associative reduction (e.g.
+    #: BFS's first-writer parent claim, which is safe only because the
+    #: partitioned layouts give every partition a disjoint destination
+    #: range).  Consulted by :mod:`repro.analysis.sanitizer` to decide
+    #: whether overlapping cross-partition write sets are a race.
+    combine: str | None = None
 
     def cond(self, dst_ids: np.ndarray) -> np.ndarray | None:
         """Which destination vertices still accept updates.
@@ -75,3 +104,46 @@ class EdgeOperator(abc.ABC):
         so algorithm-held references to the same arrays see the rollback."""
         for key, value in saved.items():
             getattr(self, key)[...] = value
+
+
+def snapshot_blind_spots(op: EdgeOperator) -> list[str]:
+    """Attribute names the default :meth:`EdgeOperator.snapshot` would miss.
+
+    Returns the operator's mutable non-ndarray attributes (dict/list/set/
+    bytearray) when the operator still uses the inherited ``snapshot``;
+    an operator that overrides ``snapshot`` is trusted to cover its own
+    state and yields no blind spots.
+    """
+    if type(op).snapshot is not EdgeOperator.snapshot:
+        return []
+    return [
+        key
+        for key, value in vars(op).items()
+        if isinstance(value, MUTABLE_NON_ARRAY_TYPES)
+    ]
+
+
+def validated_cond(op: EdgeOperator, dst_ids: np.ndarray) -> np.ndarray | None:
+    """Call ``op.cond(dst_ids)`` and enforce the mask contract.
+
+    The shared guard of all four traversal kernels: the result must be
+    ``None`` or a boolean array parallel to ``dst_ids``.  Anything else —
+    most dangerously an *integer index* array, which fancy-indexing would
+    silently accept as a selection — raises
+    :class:`~repro.errors.OperatorContractError`.
+    """
+    mask = op.cond(dst_ids)
+    if mask is None:
+        return None
+    mask = np.asarray(mask)
+    if mask.dtype != np.bool_:
+        raise OperatorContractError(
+            f"{type(op).__name__}.cond() must return None or a boolean mask, "
+            f"got dtype {mask.dtype}"
+        )
+    if mask.shape != dst_ids.shape:
+        raise OperatorContractError(
+            f"{type(op).__name__}.cond() mask has shape {mask.shape}, "
+            f"not parallel to dst_ids with shape {dst_ids.shape}"
+        )
+    return mask

@@ -6,10 +6,13 @@ from dataclasses import dataclass, field
 
 from ..frontier.density import DensityThresholds
 
-__all__ = ["EngineOptions", "FORCEABLE_LAYOUTS"]
+__all__ = ["EngineOptions", "FORCEABLE_LAYOUTS", "PARTITION_ORDERS"]
 
 #: Layouts the engine can be pinned to (for the Figure 5 layout sweep).
 FORCEABLE_LAYOUTS = ("pcsr", "csc", "coo")
+
+#: Orders the partitioned kernels may visit partitions in.
+PARTITION_ORDERS = ("forward", "reverse", "shuffle")
 
 
 @dataclass(frozen=True)
@@ -40,6 +43,15 @@ class EngineOptions:
         ``"pcsr"`` — the partitioned CSR Polymer and GraphGrind-v1 use for
         everything, which pays a per-partition lookup cost on sparse
         frontiers.
+    partition_order:
+        Order the CSC/COO/PCSR kernels visit partitions in: ``"forward"``
+        (default), ``"reverse"``, or ``"shuffle"`` (a deterministic
+        permutation seeded by ``partition_order_seed``).  Correct
+        operators must be insensitive to this choice — the freedom the
+        paper's partitioned execution exploits — and the shadow sanitizer
+        uses it to prove (or refute) that insensitivity bit-for-bit.
+    partition_order_seed:
+        Seed of the ``"shuffle"`` permutation.
     """
 
     thresholds: DensityThresholds = field(default_factory=DensityThresholds)
@@ -47,6 +59,8 @@ class EngineOptions:
     forced_layout: str | None = None
     numa_aware: bool = True
     sparse_layout: str = "csr"
+    partition_order: str = "forward"
+    partition_order_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
@@ -59,4 +73,9 @@ class EngineOptions:
         if self.sparse_layout not in ("csr", "pcsr"):
             raise ValueError(
                 f"sparse_layout must be 'csr' or 'pcsr', got {self.sparse_layout!r}"
+            )
+        if self.partition_order not in PARTITION_ORDERS:
+            raise ValueError(
+                f"partition_order must be one of {PARTITION_ORDERS}, "
+                f"got {self.partition_order!r}"
             )

@@ -38,6 +38,16 @@ class ValidationError(GraphFormatError):
     """
 
 
+class OperatorContractError(ReproError):
+    """An :class:`~repro.core.ops.EdgeOperator` violated the engine's contract.
+
+    Raised when ``cond()`` returns something other than ``None`` or a
+    boolean mask parallel to the queried ``dst_ids`` — the silent failure
+    mode is fancy-indexing with an integer array, which *selects* instead
+    of *filtering* and corrupts the traversal.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be written or read."""
 

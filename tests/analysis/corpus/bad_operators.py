@@ -1,0 +1,72 @@
+"""Known-bad operator corpus for graphlint's rule tests.
+
+Each class violates exactly one GL rule; the tests assert the full file
+yields exactly one finding per code.  Never imported at runtime — the
+linter parses this file as text.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.ops import EdgeOperator
+
+
+class DirectScatterOp(EdgeOperator):
+    """GL001: fancy-indexed accumulation drops duplicate destinations."""
+
+    def __init__(self, state):
+        self.state = state
+
+    def process_edges(self, src, dst):
+        self.state[dst] += 1.0
+        return dst
+
+
+class NonCommutativeScatterOp(EdgeOperator):
+    """GL002: division is not order-independent across partition batches."""
+
+    def __init__(self, state):
+        self.state = state
+
+    def process_edges(self, src, dst):
+        np.divide.at(self.state, dst, 2.0)
+        return dst
+
+
+class DictStateOp(EdgeOperator):
+    """GL003: dict attribute invisible to the default snapshot()."""
+
+    def __init__(self, state):
+        self.state = state
+        self.seen = {}
+
+    def process_edges(self, src, dst):
+        np.add.at(self.state, dst, 1.0)
+        return dst
+
+
+class IndexCondOp(EdgeOperator):
+    """GL004: cond() returns an index array, not a parallel mask."""
+
+    def __init__(self, active):
+        self.active = active
+
+    def cond(self, dst_ids):
+        return np.flatnonzero(self.active[dst_ids])
+
+    def process_edges(self, src, dst):
+        np.add.at(self.active, dst, 1)
+        return dst
+
+
+class WallClockOp(EdgeOperator):
+    """GL005: wall-clock read makes re-execution diverge."""
+
+    def __init__(self, state):
+        self.state = state
+        self.started_at = time.time()
+
+    def process_edges(self, src, dst):
+        np.add.at(self.state, dst, 1.0)
+        return dst

@@ -1,0 +1,14 @@
+"""Suppression corpus: a real GL001 violation silenced inline."""
+
+from repro.core.ops import EdgeOperator
+
+
+class SuppressedScatterOp(EdgeOperator):
+    """Same defect as DirectScatterOp, acknowledged via a directive."""
+
+    def __init__(self, state):
+        self.state = state
+
+    def process_edges(self, src, dst):
+        self.state[dst] += 1.0  # graphlint: disable=GL001
+        return dst

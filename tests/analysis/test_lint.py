@@ -1,0 +1,211 @@
+"""Graphlint static rules: corpus coverage, suppressions, shipped-code gate."""
+
+from pathlib import Path
+
+from repro.analysis.lint import default_root, lint_file, lint_paths, lint_source
+from repro.analysis.rules import rule_catalogue
+
+CORPUS = Path(__file__).parent / "corpus"
+ALL_CODES = ["GL001", "GL002", "GL003", "GL004", "GL005"]
+
+
+def _codes(findings):
+    return sorted(f.code for f in findings)
+
+
+# ----------------------------------------------------------------------
+# corpus: every rule fires exactly once
+# ----------------------------------------------------------------------
+def test_catalogue_matches_expected_codes():
+    catalogue = dict(rule_catalogue())
+    assert sorted(catalogue) == ALL_CODES
+    assert all(summary for summary in catalogue.values())
+
+
+def test_each_rule_fires_exactly_once_on_corpus():
+    findings = lint_file(CORPUS / "bad_operators.py")
+    assert _codes(findings) == ALL_CODES
+
+
+def test_findings_carry_renderable_locations():
+    for finding in lint_file(CORPUS / "bad_operators.py"):
+        assert finding.line > 0
+        assert finding.col > 0
+        assert finding.path.endswith("bad_operators.py")
+        rendered = finding.render()
+        assert finding.code in rendered
+        assert f":{finding.line}:" in rendered
+
+
+def test_inline_suppression_silences_the_rule():
+    assert lint_file(CORPUS / "suppressed.py") == []
+
+
+# ----------------------------------------------------------------------
+# rule behaviour on inline sources
+# ----------------------------------------------------------------------
+def test_gl001_flags_min_style_reassignment():
+    src = """
+import numpy as np
+from repro.core.ops import EdgeOperator
+
+class MinAssignOp(EdgeOperator):
+    def __init__(self, d):
+        self.d = d
+    def process_edges(self, src, dst):
+        self.d[dst] = np.minimum(self.d[dst], 1.0)
+        return dst
+"""
+    assert _codes(lint_source(src)) == ["GL001"]
+
+
+def test_gl001_ignores_non_operator_classes():
+    src = """
+class Accumulator:
+    def __init__(self, state):
+        self.state = state
+    def process_edges(self, src, dst):
+        self.state[dst] += 1.0
+        return dst
+"""
+    assert lint_source(src) == []
+
+
+def test_gl002_allows_order_safe_ufuncs():
+    src = """
+import numpy as np
+from repro.core.ops import EdgeOperator
+
+class SafeOp(EdgeOperator):
+    def process_edges(self, src, dst):
+        np.add.at(self.a, dst, 1.0)
+        np.minimum.at(self.b, dst, 0.0)
+        np.bitwise_or.at(self.c, dst, 1)
+        return dst
+"""
+    assert lint_source(src) == []
+
+
+def test_gl003_requires_both_override_hooks():
+    base = """
+from repro.core.ops import EdgeOperator
+
+class HalfOverrideOp(EdgeOperator):
+    def __init__(self):
+        self.cache = dict()
+    def snapshot(self):
+        return dict(self.cache)
+"""
+    # snapshot alone is not enough: restore is still the inherited no-op.
+    assert _codes(lint_source(base)) == ["GL003"]
+    full = base + """
+    def restore(self, snap):
+        self.cache = dict(snap)
+"""
+    assert lint_source(full) == []
+
+
+def test_gl004_flags_subscripted_ids_return():
+    src = """
+from repro.core.ops import EdgeOperator
+
+class SubsetCondOp(EdgeOperator):
+    def cond(self, dst_ids):
+        return dst_ids[self.active[dst_ids]]
+    def process_edges(self, src, dst):
+        return dst
+"""
+    assert _codes(lint_source(src)) == ["GL004"]
+
+
+def test_gl004_accepts_none_and_parallel_masks():
+    src = """
+from repro.core.ops import EdgeOperator
+
+class GoodCondOp(EdgeOperator):
+    def cond(self, dst_ids):
+        if self.done:
+            return None
+        return ~self.visited[dst_ids]
+    def process_edges(self, src, dst):
+        return dst
+"""
+    assert lint_source(src) == []
+
+
+def test_gl005_flags_unseeded_rngs():
+    src = """
+import numpy as np
+
+def jitter(xs):
+    rng = np.random.default_rng()
+    return xs + np.random.rand(len(xs)) + rng.random()
+"""
+    assert _codes(lint_source(src)) == ["GL005", "GL005"]
+
+
+def test_gl005_allows_seeded_rng_and_perf_counter():
+    src = """
+import time
+import numpy as np
+
+def sample(seed):
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    return rng.random(), time.perf_counter() - t0
+"""
+    assert lint_source(src) == []
+
+
+def test_transitive_same_module_subclasses_are_discovered():
+    src = """
+from repro.core.ops import EdgeOperator
+
+class Base(EdgeOperator):
+    def process_edges(self, src, dst):
+        return dst
+
+class Leaf(Base):
+    def process_edges(self, src, dst):
+        self.state[dst] += 1.0
+        return dst
+"""
+    assert _codes(lint_source(src)) == ["GL001"]
+
+
+# ----------------------------------------------------------------------
+# suppression syntax
+# ----------------------------------------------------------------------
+def test_comment_only_directive_applies_to_next_line():
+    src = """
+import time
+
+# graphlint: disable=GL005
+t = time.time()
+"""
+    assert lint_source(src) == []
+
+
+def test_bare_disable_suppresses_every_code():
+    src = """
+import time
+
+t = time.time()  # graphlint: disable
+"""
+    assert lint_source(src) == []
+
+
+def test_directive_for_other_code_does_not_suppress():
+    src = """
+import time
+
+t = time.time()  # graphlint: disable=GL001
+"""
+    assert _codes(lint_source(src)) == ["GL005"]
+
+
+# ----------------------------------------------------------------------
+# the shipped package must be clean (the CI gate's contract)
+# ----------------------------------------------------------------------
+def test_shipped_package_has_zero_findings():
+    assert lint_paths([default_root()]) == []

@@ -1,0 +1,104 @@
+"""Shadow-memory sanitizer: write-set recording, conflict detection, and
+whole-graph vs. partitioned batch invariance across the algorithm matrix."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import registry
+from repro.algorithms.pagerank import PageRankOp
+from repro.analysis.sanitizer import (
+    LastWriterDemoOp,
+    ShadowWriteRecorder,
+    check_algorithm_invariance,
+    check_operator_invariance,
+    default_graph,
+    demo_findings,
+    shadow_check_operator,
+    write_conflicts,
+)
+from repro.core.engine import Engine
+from repro.core.options import EngineOptions
+from repro.frontier.frontier import Frontier
+from repro.layout.store import GraphStore
+
+EDGES = default_graph()
+
+
+def _make_demo_op(engine):
+    return LastWriterDemoOp(np.full(engine.num_vertices, -1, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# recorder mechanics
+# ----------------------------------------------------------------------
+def test_recorder_collects_one_write_set_per_partition_batch():
+    store = GraphStore.build(EDGES, num_partitions=8)
+    engine = Engine(store, EngineOptions(num_threads=4, forced_layout="coo"))
+    n = engine.num_vertices
+    deg = np.maximum(store.out_degrees.astype(float), 1.0)
+    recorder = ShadowWriteRecorder(
+        PageRankOp(np.full(n, 1.0 / n) / deg, np.zeros(n))
+    )
+    engine.edge_map(Frontier.full(n), recorder)
+    # one process_edges call per non-empty partition
+    assert 1 <= len(recorder.write_sets) <= 8
+    written = sorted({k for ws in recorder.write_sets for k in ws})
+    assert written == ["accum"]
+
+
+def test_commutative_combine_licenses_overlapping_writes():
+    store = GraphStore.build(EDGES, num_partitions=8)
+    engine = Engine(store, EngineOptions(num_threads=4, forced_layout="coo"))
+    n = engine.num_vertices
+    deg = np.maximum(store.out_degrees.astype(float), 1.0)
+    recorder = ShadowWriteRecorder(
+        PageRankOp(np.full(n, 1.0 / n) / deg, np.zeros(n))
+    )
+    engine.edge_map(Frontier.full(n), recorder)
+    assert recorder.combine == "add"
+    assert write_conflicts(recorder) == []
+
+
+# ----------------------------------------------------------------------
+# shipped algorithms: conflict-free and bit-identical under re-batching
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("code", registry.names())
+def test_shadow_probe_has_no_conflicts(code):
+    from repro.analysis.sanitizer import _probe_op
+
+    assert shadow_check_operator(
+        EDGES, lambda eng: _probe_op(code, eng), algorithm=code
+    ) == []
+
+
+@pytest.mark.parametrize("code", registry.names())
+def test_algorithm_batch_invariance_is_bit_identical(code):
+    assert check_algorithm_invariance(code, edges=EDGES) == []
+
+
+# ----------------------------------------------------------------------
+# the sanitizer actually fires on a real violation
+# ----------------------------------------------------------------------
+def test_demo_op_write_conflicts_are_flagged():
+    findings = shadow_check_operator(EDGES, _make_demo_op, algorithm="demo")
+    assert findings
+    assert {f.kind for f in findings} == {"write-conflict"}
+    assert all("not commutative-associative" in f.message for f in findings)
+
+
+def test_demo_op_breaks_batch_invariance():
+    findings = check_operator_invariance(EDGES, _make_demo_op, algorithm="demo")
+    assert findings
+    assert {f.kind for f in findings} == {"batch-variance"}
+
+
+def test_demo_findings_cover_both_layers():
+    kinds = {f.kind for f in demo_findings(edges=EDGES)}
+    assert kinds == {"write-conflict", "batch-variance"}
+
+
+def test_finding_render_names_algorithm_and_kind():
+    finding = demo_findings(edges=EDGES)[0]
+    rendered = finding.render()
+    assert "demo" in rendered
+    assert finding.kind in rendered

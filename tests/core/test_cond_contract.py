@@ -1,0 +1,83 @@
+"""The cond() mask contract is enforced by all four traversal kernels.
+
+An operator whose ``cond`` returns an index array or a mask of the wrong
+length would be silently mis-filtered by fancy indexing; the shared
+:func:`repro.core.ops.validated_cond` guard turns that into a typed
+:class:`~repro.errors.OperatorContractError` at the first kernel call.
+"""
+
+import numpy as np
+import pytest
+
+from repro._types import VID_DTYPE
+from repro.core.engine import Engine
+from repro.core.ops import EdgeOperator, validated_cond
+from repro.core.options import EngineOptions
+from repro.errors import OperatorContractError
+from repro.frontier.frontier import Frontier
+from repro.layout.store import GraphStore
+
+FORCED_LAYOUTS = ["pcsr", "csc", "coo"]
+
+
+class BadMaskOp(EdgeOperator):
+    """cond() violates the contract in a configurable way."""
+
+    def __init__(self, mode):
+        self.mode = mode
+
+    def cond(self, dst_ids):
+        if self.mode == "dtype":
+            # an int array: fancy indexing would accept it as indices
+            return np.zeros(dst_ids.shape, dtype=np.int64)
+        # a mask that is not parallel to dst_ids
+        return np.ones(dst_ids.shape[0] + 1, dtype=bool)
+
+    def process_edges(self, src, dst):
+        return dst
+
+
+@pytest.mark.parametrize("mode", ["dtype", "shape"])
+@pytest.mark.parametrize("layout", FORCED_LAYOUTS)
+def test_forced_kernels_reject_bad_masks(small_rmat, layout, mode):
+    store = GraphStore.build(small_rmat, num_partitions=5)
+    engine = Engine(store, EngineOptions(num_threads=4, forced_layout=layout))
+    with pytest.raises(OperatorContractError):
+        engine.edge_map(Frontier.full(small_rmat.num_vertices), BadMaskOp(mode))
+
+
+@pytest.mark.parametrize("mode", ["dtype", "shape"])
+def test_sparse_csr_kernel_rejects_bad_masks(small_rmat, mode):
+    """The fourth kernel: a sparse frontier dispatches to the CSR path."""
+    store = GraphStore.build(small_rmat, num_partitions=5)
+    engine = Engine(store, EngineOptions(num_threads=4))
+    source = int(np.argmax(small_rmat.out_degrees()))
+    with pytest.raises(OperatorContractError):
+        engine.edge_map(
+            Frontier.of(small_rmat.num_vertices, source), BadMaskOp(mode)
+        )
+
+
+def test_validated_cond_passes_none_and_parallel_masks():
+    class GoodOp(EdgeOperator):
+        def __init__(self, mask=None):
+            self.mask = mask
+
+        def cond(self, dst_ids):
+            return self.mask
+
+        def process_edges(self, src, dst):
+            return dst
+
+    ids = np.arange(6, dtype=VID_DTYPE)
+    assert validated_cond(GoodOp(), ids) is None
+    mask = np.tile([True, False], 3)
+    out = validated_cond(GoodOp(mask), ids)
+    assert out.dtype == np.bool_
+    assert np.array_equal(out, mask)
+
+
+def test_error_message_names_the_operator_contract():
+    ids = np.arange(4, dtype=VID_DTYPE)
+    with pytest.raises(OperatorContractError, match="cond"):
+        validated_cond(BadMaskOp("dtype"), ids)
