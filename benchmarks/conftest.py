@@ -12,13 +12,53 @@ headline shape claims.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.bench import StoreCache
+from repro.bench.harness import set_default_resilience_factory
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_fault_plan():
+    """Optionally run every benchmark engine under injected faults.
+
+    ``REPRO_BENCH_FAULT_PLAN`` holds a fault spec ("worker_crash@1,...")
+    and/or ``REPRO_BENCH_FAULT_SEED`` seeds a random plan; either arms a
+    process-wide resilience factory so each engine the harness builds
+    gets a fresh, re-armed plan (events are one-shot).  Unset, benchmarks
+    run unsupervised exactly as before.
+    """
+    spec = os.environ.get("REPRO_BENCH_FAULT_PLAN", "")
+    seed = os.environ.get("REPRO_BENCH_FAULT_SEED", "")
+    if not spec and not seed:
+        yield None
+        return
+
+    from repro.resilience import FaultPlan, ResiliencePolicy
+
+    def factory():
+        events = []
+        if spec:
+            events.extend(FaultPlan.from_spec(spec).events)
+        if seed:
+            events.extend(
+                FaultPlan.random(
+                    int(seed),
+                    iterations=4,
+                    num_faults=2,
+                    kinds=("worker_crash",),
+                ).events
+            )
+        return ResiliencePolicy(max_retries=6, fault_plan=FaultPlan(events))
+
+    set_default_resilience_factory(factory)
+    yield factory
+    set_default_resilience_factory(None)
 
 
 @pytest.fixture(scope="session")

@@ -15,6 +15,14 @@ Subcommands
         python -m repro experiment fig3
         python -m repro experiment fig9 --scale 0.25
 
+``checkpoints``
+    Maintain a checkpoint directory: list runs/generations, verify their
+    integrity, prune old generations::
+
+        python -m repro checkpoints ls --checkpoint-dir ckpts
+        python -m repro checkpoints verify --checkpoint-dir ckpts --store sharded
+        python -m repro checkpoints prune --checkpoint-dir ckpts --keep 3
+
 ``info``
     Show the dataset registry and algorithm table.
 
@@ -82,15 +90,39 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="resume from the newest valid checkpoint in --checkpoint-dir")
     run.add_argument("--checkpoint-every", type=int, default=1,
                      help="checkpoint every N iterations (default 1)")
+    run.add_argument("--store", default="local", choices=("local", "sharded", "replicated"),
+                     help="checkpoint store backend (default local)")
+    run.add_argument("--replicas", type=int, default=2,
+                     help="replica count for --store replicated (default 2)")
+    run.add_argument("--checkpoint-keep", type=int, default=None, metavar="N",
+                     help="keep only the newest N checkpoint generations per run")
     run.add_argument("--fault-plan",
-                     help="inject faults, e.g. 'worker_crash@2,partition@3:1,oom@4'")
+                     help="inject faults, e.g. 'worker_crash@2:1,stall@3:0,oom@4'")
     run.add_argument("--max-retries", type=int, default=None,
                      help="supervised retries per edge-map phase (enables the "
                           "resilience supervisor; implied by --fault-plan)")
+    run.add_argument("--watchdog", nargs="?", type=float, const=2.0, default=None,
+                     metavar="GRACE",
+                     help="enforce per-partition deadlines of GRACE x the cost "
+                          "model's predicted partition time (default grace 2.0; "
+                          "enables the resilience supervisor)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
     exp.add_argument("--scale", type=float, default=None)
+
+    ckpt = sub.add_parser("checkpoints", help="maintain a checkpoint directory")
+    ckpt.add_argument("action", choices=("ls", "verify", "prune"))
+    ckpt.add_argument("--checkpoint-dir", required=True,
+                      help="the directory holding the checkpoints")
+    ckpt.add_argument("--store", default="local",
+                      choices=("local", "sharded", "replicated"),
+                      help="store backend the directory was written with")
+    ckpt.add_argument("--replicas", type=int, default=2,
+                      help="replica count for --store replicated (default 2)")
+    ckpt.add_argument("--name", help="restrict to one run name")
+    ckpt.add_argument("--keep", type=int, default=1,
+                      help="generations per run to keep when pruning (default 1)")
 
     sub.add_parser("info", help="list datasets and algorithms")
 
@@ -111,16 +143,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _build_resilience(args: argparse.Namespace):
     """ResiliencePolicy from the CLI flags, or None when none were given."""
-    if args.fault_plan is None and args.max_retries is None:
+    if args.fault_plan is None and args.max_retries is None and args.watchdog is None:
         return None
-    from .resilience import FaultPlan, ResiliencePolicy
+    from .resilience import FaultPlan, ResiliencePolicy, Watchdog
 
     try:
         plan = FaultPlan.from_spec(args.fault_plan) if args.fault_plan else None
     except ValueError as exc:
         raise ValidationError(str(exc)) from exc
     max_retries = args.max_retries if args.max_retries is not None else 3
-    return ResiliencePolicy(max_retries=max_retries, fault_plan=plan)
+    watchdog = Watchdog(grace=args.watchdog) if args.watchdog is not None else None
+    return ResiliencePolicy(max_retries=max_retries, fault_plan=plan, watchdog=watchdog)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -152,11 +185,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if not spec.supports_checkpoint:
             print(f"note: {spec.code} is not checkpointable; running without checkpoints")
         else:
-            from .resilience import CheckpointManager, CheckpointSession
+            from .resilience import CheckpointManager, CheckpointSession, make_store
 
             manager = CheckpointManager(
                 args.checkpoint_dir,
+                store=make_store(
+                    args.store, args.checkpoint_dir, replicas=args.replicas
+                ),
                 fault_plan=resilience.fault_plan if resilience else None,
+                keep_last=args.checkpoint_keep,
             )
             run_name = f"{spec.code}-{source_name}"
             session = CheckpointSession(
@@ -187,6 +224,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"simulated time on modelled machine ({args.threads} threads): "
           f"{sim_s * 1e3:.3f} ms")
     return 0
+
+
+def _cmd_checkpoints(args: argparse.Namespace) -> int:
+    """Maintenance over a checkpoint directory: ls / verify / prune."""
+    from .resilience import CheckpointManager, make_store
+
+    manager = CheckpointManager(
+        args.checkpoint_dir,
+        store=make_store(args.store, args.checkpoint_dir, replicas=args.replicas),
+    )
+    names = [args.name] if args.name else manager.names()
+    if not names:
+        print(f"no checkpoints under {args.checkpoint_dir} ({args.store} store)")
+        return 0
+
+    if args.action == "ls":
+        for name in names:
+            steps = manager.steps(name)
+            sizes = [manager.store.size_bytes(name, s) for s in steps]
+            total = sum(s for s in sizes if s is not None)
+            print(f"{name}: {len(steps)} generation(s) "
+                  f"[{', '.join(str(s) for s in steps)}]"
+                  + (f", {total / 1024:.1f} KiB" if total else ""))
+        return 0
+
+    if args.action == "verify":
+        bad = 0
+        for name in names:
+            for step in manager.steps(name):
+                ok = manager.verify(name, step)
+                bad += 0 if ok else 1
+                print(f"{name} step {step}: {'ok' if ok else 'CORRUPT'}")
+        print(f"verify: {bad} corrupt generation(s)")
+        return 1 if bad else 0
+
+    if args.action == "prune":
+        if args.keep < 1:
+            raise ValidationError("--keep must be >= 1")
+        for name in names:
+            dropped = manager.prune(name, keep_last=args.keep)
+            print(f"{name}: pruned {len(dropped)} generation(s), "
+                  f"kept {len(manager.steps(name))}")
+        return 0
+    raise AssertionError("unreachable")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -234,6 +315,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "checkpoints":
+            return _cmd_checkpoints(args)
         if args.command == "info":
             return _cmd_info()
         if args.command == "lint":

@@ -32,6 +32,7 @@ __all__ = [
     "ALGORITHMS",
     "names",
     "get",
+    "resumable",
     "default_source",
     "result_arrays",
 ]
@@ -151,6 +152,16 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
 def names() -> list[str]:
     """Algorithm codes in Table II order."""
     return list(ALGORITHMS)
+
+
+def resumable() -> list[str]:
+    """Codes of the checkpointable algorithms (``run_resumable`` present).
+
+    The CLI's ``checkpoints`` maintenance subcommand and the bench
+    harness use this to know which runs can participate in
+    kill-and-resume experiments.
+    """
+    return [code for code, spec in ALGORITHMS.items() if spec.supports_checkpoint]
 
 
 def get(code: str) -> AlgorithmSpec:

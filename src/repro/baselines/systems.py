@@ -121,12 +121,18 @@ def build_engine(
     algorithm_balance: str = "edges",
     edge_order: str = "source",
     store: GraphStore | None = None,
+    resilience=None,
+    journal=None,
 ) -> Engine:
     """Construct the engine a system would run ``edges`` with.
 
     ``algorithm_balance`` is used for systems whose balance criterion
     defers to the algorithm (§III.D).  Pass a pre-built ``store`` to share
     layouts across algorithms (it must match the system's partitioning).
+    ``resilience``/``journal`` attach the supervision runtime — the
+    baseline configurations run under the same fault-recovery machinery
+    as GraphGrind-v2, so the Figure 9 comparison holds under injected
+    faults too.
     """
     p = config.num_partitions or default_partitions
     p = min(p, max(edges.num_vertices, 1))
@@ -141,7 +147,7 @@ def build_engine(
         numa_aware=config.numa_aware,
         sparse_layout=config.sparse_layout,
     )
-    return Engine(store, options)
+    return Engine(store, options, resilience=resilience, journal=journal)
 
 
 def build_cost_model(

@@ -23,10 +23,33 @@ from ..layout.store import GraphStore
 from ..machine.cost import CostModel, LayoutProfile, profile_store
 from ..machine.spec import MachineSpec
 
-__all__ = ["StoreCache", "Workbench", "force_atomics"]
+__all__ = [
+    "StoreCache",
+    "Workbench",
+    "force_atomics",
+    "set_default_resilience_factory",
+]
 
 #: default stand-in scale for benchmark runs; tests use smaller values.
 DEFAULT_SCALE = 1.0
+
+#: process-wide default for :attr:`Workbench.resilience_factory` — the
+#: bench conftest points this at a seeded fault plan (via the
+#: ``REPRO_BENCH_FAULT_PLAN`` / ``REPRO_BENCH_FAULT_SEED`` environment
+#: variables) so every figure driver runs its engines under fault
+#: injection without each driver knowing about it.
+_DEFAULT_RESILIENCE_FACTORY = None
+
+
+def set_default_resilience_factory(factory) -> None:
+    """Install (or clear, with ``None``) the process-wide policy factory.
+
+    ``factory`` is a zero-argument callable returning a fresh
+    :class:`~repro.resilience.ResiliencePolicy` — fresh because fault
+    events are one-shot, so each engine needs its own re-armed plan.
+    """
+    global _DEFAULT_RESILIENCE_FACTORY
+    _DEFAULT_RESILIENCE_FACTORY = factory
 
 
 def force_atomics(stats: RunStats) -> RunStats:
@@ -91,10 +114,22 @@ class Workbench:
     machine: MachineSpec
     num_threads: int = 48
     cache: StoreCache | None = None
+    #: zero-argument callable producing a fresh ResiliencePolicy (or
+    #: ``None``) for every engine this workbench builds.  Defaults to the
+    #: process-wide factory installed by the bench conftest, letting CI
+    #: re-run the whole figure suite under injected faults.
+    resilience_factory: object = None
 
     def __post_init__(self) -> None:
         if self.cache is None:
             self.cache = StoreCache()
+        if self.resilience_factory is None:
+            self.resilience_factory = _DEFAULT_RESILIENCE_FACTORY
+
+    def _resilience(self):
+        """A fresh supervision policy for one engine build, if configured."""
+        factory = self.resilience_factory
+        return factory() if callable(factory) else None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -141,7 +176,7 @@ class Workbench:
             forced_layout=forced_layout,
             numa_aware=numa_aware,
         )
-        engine = Engine(store, options)
+        engine = Engine(store, options, resilience=self._resilience())
         result = spec.run(engine)
         stats = self._stats_of(result)
         if atomics == "on":
@@ -169,6 +204,7 @@ class Workbench:
             default_partitions=default_partitions,
             algorithm_balance=spec.balance,
             store=store,
+            resilience=self._resilience(),
         )
         result = spec.run(engine)
         stats = self._stats_of(result)

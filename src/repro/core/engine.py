@@ -20,24 +20,41 @@ machine model converts into simulated execution time.
 When constructed with a :class:`~repro.resilience.ResiliencePolicy` the
 engine additionally *supervises* every ``edge_map``: injected or real
 :class:`~repro.errors.WorkerFailure`/:class:`~repro.errors.CapacityError`
-faults roll the operator back to its pre-phase snapshot and re-execute
-the phase (capped exponential backoff), and repeated capacity faults
-walk the degradation ladder — halving the partition count and
-re-deriving the layouts — instead of dying.
+faults are recovered at the finest granularity the fault allows.
+Partition-task faults are confined by the phase journal
+(:class:`~repro.resilience.journal.PhaseJournal`): each partition task's
+write set is rolled back individually and the retry *replays* already
+committed partitions from their journal records, re-executing only the
+failed partition — the paper's disjoint-destination-range property is
+what makes that bit-identical.  Whole-phase faults roll the operator
+back to its pre-phase snapshot and re-execute the phase (capped
+exponential backoff), and repeated capacity faults walk the degradation
+ladder — halving the partition count and re-deriving the layouts —
+instead of dying.  An optional watchdog turns (simulated) partition
+stalls into the same ladder: retry → requeue on another scheduler slot →
+degrade.
 """
 
 from __future__ import annotations
 
 import logging
+import zlib
 
 import numpy as np
 
 from .._types import VID_DTYPE
-from ..errors import CapacityError, RetryExhausted, ValidationError, WorkerFailure
+from ..errors import (
+    CapacityError,
+    RetryExhausted,
+    StallTimeout,
+    ValidationError,
+    WorkerFailure,
+)
 from ..frontier.density import DensityClass, classify_frontier
 from ..frontier.frontier import Frontier
 from ..layout.pcsr import PartitionedCSR
 from ..layout.store import GraphStore
+from ..resilience.journal import PartitionRecord, PhaseJournal
 from .gather import gather_adjacency
 from .ops import EdgeOperator, snapshot_blind_spots, validated_cond
 from .options import EngineOptions
@@ -57,6 +74,7 @@ class Engine:
         options: EngineOptions | None = None,
         *,
         resilience=None,
+        journal: PhaseJournal | None = None,
     ) -> None:
         self.store = store
         self.options = options or EngineOptions()
@@ -64,6 +82,16 @@ class Engine:
         self._pcsr: PartitionedCSR | None = None
         #: optional :class:`~repro.resilience.ResiliencePolicy`.
         self.resilience = resilience
+        #: phase journal enabling partition-granular recovery; created
+        #: automatically for supervised engines, ``None`` otherwise.
+        self.journal = journal
+        if self.journal is None and resilience is not None:
+            self.journal = PhaseJournal()
+        plan = getattr(resilience, "fault_plan", None)
+        if plan is not None:
+            # Reject misspelled kinds / out-of-range partitions up front:
+            # a fault that can never fire silently voids the experiment.
+            plan.validate(num_partitions=store.num_partitions)
         #: global edge-map counter, the key fault plans address phases by.
         self._edge_map_index = 0
         #: human-readable recovery/degradation history of this engine.
@@ -141,9 +169,13 @@ class Engine:
     def _edge_map_supervised(self, frontier: Frontier, op: EdgeOperator) -> Frontier:
         """Run one edge-map phase under the retry/degradation supervisor.
 
-        Faults roll ``op`` and the phase statistics back to the pre-phase
-        snapshot before the retry, so a recovered phase is bit-identical
-        to a fault-free one.
+        Recovery granularity depends on what the journal knows: when a
+        partition task fails after others already committed, the commits
+        stay in place (their records are replayed on the retry) and only
+        the failed partition re-executes.  Capacity faults and faults
+        before any partition committed roll ``op`` and the phase
+        statistics all the way back to the pre-phase snapshot.  Either
+        way the recovered phase is bit-identical to a fault-free one.
         """
         policy = self.resilience
         blind = snapshot_blind_spots(op)
@@ -154,6 +186,9 @@ class Engine:
                 "snapshot()/restore(); supervised rollback would silently "
                 "miss it — override both hooks to cover that state"
             )
+        journal = self.journal
+        if journal is not None:
+            journal.begin_phase(self._edge_map_index)
         snapshot = op.snapshot()
         stats_mark = len(self.stats.edge_maps)
         attempt = 0
@@ -166,10 +201,27 @@ class Engine:
                 self._edge_map_index += 1
                 return result
             except (WorkerFailure, CapacityError) as exc:
-                op.restore(snapshot)
+                # Partition-granular path: the failed task's write set was
+                # already rolled back inside _run_partition, and committed
+                # partitions replay from the journal — keep their writes.
+                granular = (
+                    not isinstance(exc, CapacityError)
+                    and journal is not None
+                    and journal.has_commits()
+                )
+                if not granular:
+                    op.restore(snapshot)
+                    if journal is not None:
+                        journal.invalidate()
                 del self.stats.edge_maps[stats_mark:]
+                detail = (
+                    f"; keeping {journal.num_commits()} committed partition(s)"
+                    if granular
+                    else ""
+                )
                 self.resilience_log.append(
-                    f"edge-map {self._edge_map_index} attempt {attempt} faulted: {exc}"
+                    f"edge-map {self._edge_map_index} attempt {attempt} "
+                    f"faulted: {exc}{detail}"
                 )
                 log.warning("edge-map %d faulted: %s", self._edge_map_index, exc)
                 if isinstance(exc, CapacityError):
@@ -203,9 +255,158 @@ class Engine:
             edge_order=self.store.coo.edge_order,
         )
         self._pcsr = None
+        # Partition ids changed: journal records and watchdog overrun
+        # history no longer address the same units of work.
+        if self.journal is not None:
+            self.journal.invalidate()
+        watchdog = getattr(self.resilience, "watchdog", None)
+        if watchdog is not None:
+            watchdog.reset()
         self.resilience_log.append(f"degraded partitions {p} -> {new_p} after CapacityError")
         log.warning("degraded partitions %d -> %d after CapacityError", p, new_p)
         return True
+
+    # ------------------------------------------------------------------
+    # partition-task supervision: journal, slice rollback, watchdog
+    # ------------------------------------------------------------------
+    def _run_partition(self, i: int, op: EdgeOperator, lo: int, hi: int, body):
+        """Execute one partition task under the journal and watchdog.
+
+        ``body()`` must return a :class:`PartitionRecord` describing the
+        task's outputs.  Under supervision the task's write set (the
+        ``[lo, hi)`` slice of each vertex-length state array) is
+        snapshotted first and rolled back on a
+        :class:`~repro.errors.WorkerFailure`, committed records from an
+        earlier attempt of the same phase are replayed instead of
+        re-executed, and the watchdog's escalation ladder fires on
+        (simulated) deadline overruns.
+        """
+        journal = self.journal if self.resilience is not None else None
+        if journal is None:
+            self._before_partition(i)
+            return body()
+        record = journal.completed(i)
+        if record is not None:
+            if self._slice_digest(op, lo, hi) == record.digest:
+                journal.note_replay(i)
+                return record
+            journal.drop(i)  # state diverged since the commit; re-execute
+        journal.note_execution(i)
+        self._check_watchdog(i)
+        saved = self._partition_snapshot(op, lo, hi)
+        try:
+            self._before_partition(i)
+            record = body()
+        except WorkerFailure:
+            self._partition_restore(op, lo, hi, saved)
+            raise
+        record.digest = self._slice_digest(op, lo, hi)
+        journal.commit(record)
+        return record
+
+    def _partition_snapshot(self, op: EdgeOperator, lo: int, hi: int):
+        """Snapshot one partition task's write set before it executes.
+
+        Vertex-length arrays are captured only over the task's ``[lo,
+        hi)`` destination range (its contract-declared write set); any
+        other array is copied whole.  Operators with a custom
+        ``snapshot`` own state the slicing cannot see, so they fall back
+        to their full snapshot/restore pair — still correct here because
+        the snapshot is taken at *task* start, when every committed
+        partition's writes are already in the arrays.
+        """
+        if type(op).snapshot is not EdgeOperator.snapshot:
+            return ("full", op.snapshot())
+        n = self.num_vertices
+        saved = {}
+        for key, value in vars(op).items():
+            if not isinstance(value, np.ndarray):
+                continue
+            if value.ndim >= 1 and value.shape[0] == n:
+                saved[key] = (True, value[lo:hi].copy())
+            else:
+                saved[key] = (False, value.copy())
+        return ("slice", saved)
+
+    def _partition_restore(self, op: EdgeOperator, lo: int, hi: int, snap) -> None:
+        """Roll back exactly the write set captured by :meth:`_partition_snapshot`."""
+        mode, saved = snap
+        if mode == "full":
+            op.restore(saved)
+            return
+        for key, (sliced, value) in saved.items():
+            target = getattr(op, key)
+            if sliced:
+                target[lo:hi] = value
+            else:
+                target[...] = value
+
+    def _slice_digest(self, op: EdgeOperator, lo: int, hi: int) -> int:
+        """CRC32 of the ``[lo, hi)`` slice of every vertex-length state array."""
+        n = self.num_vertices
+        arrays = vars(op)
+        crc = 0
+        for key in sorted(arrays):
+            value = arrays[key]
+            if (
+                isinstance(value, np.ndarray)
+                and value.ndim >= 1
+                and value.shape[0] == n
+            ):
+                crc = zlib.crc32(np.ascontiguousarray(value[lo:hi]).tobytes(), crc)
+        return crc
+
+    def _check_watchdog(self, i: int) -> None:
+        """Enforce partition ``i``'s deadline over simulated time.
+
+        The observed elapsed time equals the cost model's prediction
+        unless the fault plan injects a ``stall`` — determinism is what
+        keeps recovery bit-reproducible.
+        """
+        watchdog = getattr(self.resilience, "watchdog", None)
+        if watchdog is None:
+            return
+        num_edges = int(self.store.coo.edges_per_partition()[i])
+        plan = self._fault_plan
+        stalled = plan is not None and plan.take_stall(self._edge_map_index, i)
+        elapsed = (
+            2.0 * watchdog.deadline_ns(num_edges)
+            if stalled
+            else watchdog.predicted_ns(num_edges)
+        )
+        action = watchdog.observe(i, num_edges, elapsed)
+        if action is None:
+            return
+        self.resilience_log.append(
+            f"edge-map {self._edge_map_index}: watchdog tripped on partition {i} "
+            f"(escalation: {action})"
+        )
+        if action == "degrade":
+            raise CapacityError(
+                f"partition {i} stalled repeatedly at edge-map "
+                f"{self._edge_map_index}; degrading partition count"
+            )
+        if action == "requeue":
+            self._requeue_partition(i)
+        raise StallTimeout(
+            f"partition {i} overran its watchdog deadline at edge-map "
+            f"{self._edge_map_index}"
+        )
+
+    def _requeue_partition(self, i: int) -> None:
+        """Move a stalling partition to a different scheduler slot."""
+        from ..machine.scheduler import reassign_slot
+
+        costs = self.store.coo.edges_per_partition().astype(np.float64)
+        old_slot, new_slot = reassign_slot(costs, self.options.num_threads, i)
+        self.resilience_log.append(
+            f"requeued partition {i} from scheduler slot {old_slot} "
+            f"to slot {new_slot}"
+        )
+        log.warning(
+            "requeued stalling partition %d from slot %d to slot %d",
+            i, old_slot, new_slot,
+        )
 
     # ------------------------------------------------------------------
     def _partition_schedule(self, p: int):
@@ -268,25 +469,39 @@ class Engine:
         active_edges = 0
         scanned = 0
         for i in self._partition_schedule(p):
-            self._before_partition(i)
             lo, hi = ranges.vertex_range(i)
-            if lo == hi:
-                continue
-            candidates = np.arange(lo, hi, dtype=VID_DTYPE)
-            cond = validated_cond(op, candidates)
-            if cond is not None:
-                candidates = candidates[cond]
-            scanned += hi - lo
-            dst, src = gather_adjacency(csc.index, csc.neighbors, candidates)
-            part_examined[i] = src.size
-            examined += int(src.size)
-            live = bitmap[src]
-            src, dst = src[live], dst[live]
-            active_edges += int(src.size)
-            acts = op.process_edges(src, dst)
-            part_touched[i] = np.unique(dst).size
-            if acts.size:
-                activated_parts.append(acts)
+
+            def body(i=i, lo=lo, hi=hi):
+                if lo == hi:
+                    return PartitionRecord.empty(i, lo, hi)
+                candidates = np.arange(lo, hi, dtype=VID_DTYPE)
+                cond = validated_cond(op, candidates)
+                if cond is not None:
+                    candidates = candidates[cond]
+                dst, src = gather_adjacency(csc.index, csc.neighbors, candidates)
+                examined_i = int(src.size)
+                live = bitmap[src]
+                src_live, dst_live = src[live], dst[live]
+                acts = op.process_edges(src_live, dst_live)
+                return PartitionRecord(
+                    partition=i,
+                    lo=lo,
+                    hi=hi,
+                    activated=acts,
+                    examined=examined_i,
+                    touched=int(np.unique(dst_live).size),
+                    active_edges=int(src_live.size),
+                    scanned=hi - lo,
+                )
+
+            rec = self._run_partition(i, op, lo, hi, body)
+            part_examined[i] = rec.examined
+            part_touched[i] = rec.touched
+            examined += rec.examined
+            active_edges += rec.active_edges
+            scanned += rec.scanned
+            if rec.activated.size:
+                activated_parts.append(rec.activated)
         nxt = self._make_frontier(
             np.concatenate(activated_parts) if activated_parts else np.empty(0, VID_DTYPE)
         )
@@ -319,20 +534,35 @@ class Engine:
         part_examined = np.zeros(p, dtype=np.int64)
         part_touched = np.zeros(p, dtype=np.int64)
         active_edges = 0
+        ranges = coo.partition
         for i in self._partition_schedule(p):
-            self._before_partition(i)
-            src, dst = coo.partition_edges(i)
-            part_examined[i] = src.size
-            live = bitmap[src]
-            cond = validated_cond(op, dst)
-            if cond is not None:
-                live = live & cond
-            src, dst = src[live], dst[live]
-            active_edges += int(src.size)
-            acts = op.process_edges(src, dst)
-            part_touched[i] = np.unique(dst).size
-            if acts.size:
-                activated_parts.append(acts)
+            lo, hi = ranges.vertex_range(i)
+
+            def body(i=i, lo=lo, hi=hi):
+                src, dst = coo.partition_edges(i)
+                examined_i = int(src.size)
+                live = bitmap[src]
+                cond = validated_cond(op, dst)
+                if cond is not None:
+                    live = live & cond
+                src_live, dst_live = src[live], dst[live]
+                acts = op.process_edges(src_live, dst_live)
+                return PartitionRecord(
+                    partition=i,
+                    lo=lo,
+                    hi=hi,
+                    activated=acts,
+                    examined=examined_i,
+                    touched=int(np.unique(dst_live).size),
+                    active_edges=int(src_live.size),
+                )
+
+            rec = self._run_partition(i, op, lo, hi, body)
+            part_examined[i] = rec.examined
+            part_touched[i] = rec.touched
+            active_edges += rec.active_edges
+            if rec.activated.size:
+                activated_parts.append(rec.activated)
         nxt = self._make_frontier(
             np.concatenate(activated_parts) if activated_parts else np.empty(0, VID_DTYPE)
         )
@@ -370,36 +600,56 @@ class Engine:
         examined = 0
         scanned = 0
         active_ids = frontier.as_sparse()
+        ranges = pcsr.partition
         for i in self._partition_schedule(p):
-            part = pcsr.parts[i]
-            self._before_partition(i)
-            if active_ids.size * 8 < part.num_stored_vertices:
-                # Sparse frontier: binary-search each active vertex in this
-                # partition's stored slots instead of scanning them all.
-                pos = np.searchsorted(part.vertex_ids, active_ids)
-                valid = pos < part.vertex_ids.size
-                hits = part.vertex_ids[pos[valid]] == active_ids[valid]
-                live_slots = pos[valid][hits]
-                scanned += active_ids.size
-            else:
-                # Dense frontier: every stored (replicated) vertex is
-                # visited to test activity — the §II.F work inflation.
-                live_slots = np.flatnonzero(bitmap[part.vertex_ids])
-                scanned += part.num_stored_vertices
-            if live_slots.size == 0:
-                continue
-            slot_keys, dst = gather_adjacency(part.index, part.neighbors, live_slots)
-            src = part.vertex_ids[slot_keys]
-            part_examined[i] = dst.size
-            examined += int(dst.size)
-            cond = validated_cond(op, dst)
-            if cond is not None:
-                src, dst = src[cond], dst[cond]
-            active_edges += int(src.size)
-            acts = op.process_edges(src, dst)
-            part_touched[i] = np.unique(dst).size
-            if acts.size:
-                activated_parts.append(acts)
+            lo, hi = ranges.vertex_range(i)
+
+            def body(i=i, lo=lo, hi=hi):
+                part = pcsr.parts[i]
+                if active_ids.size * 8 < part.num_stored_vertices:
+                    # Sparse frontier: binary-search each active vertex in
+                    # this partition's stored slots instead of scanning
+                    # them all.
+                    pos = np.searchsorted(part.vertex_ids, active_ids)
+                    valid = pos < part.vertex_ids.size
+                    hits = part.vertex_ids[pos[valid]] == active_ids[valid]
+                    live_slots = pos[valid][hits]
+                    scanned_i = int(active_ids.size)
+                else:
+                    # Dense frontier: every stored (replicated) vertex is
+                    # visited to test activity — the §II.F work inflation.
+                    live_slots = np.flatnonzero(bitmap[part.vertex_ids])
+                    scanned_i = part.num_stored_vertices
+                if live_slots.size == 0:
+                    rec = PartitionRecord.empty(i, lo, hi)
+                    rec.scanned = scanned_i
+                    return rec
+                slot_keys, dst = gather_adjacency(part.index, part.neighbors, live_slots)
+                src = part.vertex_ids[slot_keys]
+                examined_i = int(dst.size)
+                cond = validated_cond(op, dst)
+                if cond is not None:
+                    src, dst = src[cond], dst[cond]
+                acts = op.process_edges(src, dst)
+                return PartitionRecord(
+                    partition=i,
+                    lo=lo,
+                    hi=hi,
+                    activated=acts,
+                    examined=examined_i,
+                    touched=int(np.unique(dst).size),
+                    active_edges=int(src.size),
+                    scanned=scanned_i,
+                )
+
+            rec = self._run_partition(i, op, lo, hi, body)
+            part_examined[i] = rec.examined
+            part_touched[i] = rec.touched
+            examined += rec.examined
+            active_edges += rec.active_edges
+            scanned += rec.scanned
+            if rec.activated.size:
+                activated_parts.append(rec.activated)
         nxt = self._make_frontier(
             np.concatenate(activated_parts) if activated_parts else np.empty(0, VID_DTYPE)
         )

@@ -29,12 +29,15 @@ class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its iteration cap."""
 
 
-class ValidationError(GraphFormatError):
+class ValidationError(GraphFormatError, ValueError):
     """An input failed the strict validation gate.
 
     Subclasses :class:`GraphFormatError` so callers that already guard
-    loads with the broader type keep working; raised for out-of-range or
-    negative vertex ids, NaN/inf weights, and truncated files.
+    loads with the broader type keep working (and :class:`ValueError` so
+    argument-checking call sites keep their contract); raised for
+    out-of-range or negative vertex ids, NaN/inf weights, truncated
+    files, and fault plans naming unknown kinds or out-of-range
+    partition ids.
     """
 
 
@@ -61,6 +64,15 @@ class WorkerFailure(ReproError):
 
     Raised by fault injection; the engine supervisor treats it as
     recoverable and re-executes the phase on the surviving workers.
+    """
+
+
+class StallTimeout(WorkerFailure):
+    """A partition task overran its watchdog deadline.
+
+    Subclasses :class:`WorkerFailure` so the engine supervisor treats a
+    stalled task exactly like a crashed one: its write set is rolled
+    back and only that partition is re-executed.
     """
 
 

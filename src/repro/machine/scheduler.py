@@ -32,6 +32,7 @@ __all__ = [
     "chunked_makespan",
     "failure_aware_makespan",
     "requeue_assignment",
+    "reassign_slot",
 ]
 
 
@@ -144,6 +145,27 @@ def requeue_assignment(
         assignment[idx] = t
         heapq.heappush(heap, (load + float(costs[idx]), t))
     return assignment
+
+
+def reassign_slot(costs: np.ndarray, threads: int, task: int) -> tuple[int, int]:
+    """Move one task off the scheduler slot LPT put it on.
+
+    The watchdog's second escalation rung: a partition that keeps
+    overrunning its deadline is treated as pinned to a slow/poisoned
+    worker, so its task is re-queued (via :func:`requeue_assignment`,
+    marking that worker failed) onto a different slot.  Returns ``(old
+    slot, new slot)``; with a single thread there is nowhere to move and
+    the slot is returned unchanged.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    _check_threads(threads)
+    if not 0 <= task < costs.size:
+        raise ValueError(f"task {task} out of range [0, {costs.size})")
+    old_slot = int(lpt_assignment(costs, threads)[task])
+    if threads == 1:
+        return old_slot, old_slot
+    new_slot = int(requeue_assignment(costs, threads, [old_slot])[task])
+    return old_slot, new_slot
 
 
 def failure_aware_makespan(

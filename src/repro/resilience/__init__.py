@@ -1,23 +1,46 @@
-"""Resilient execution runtime: checkpoint/restore, fault injection,
-retry/degradation supervision and strict input validation.
+"""Resilient execution runtime: checkpoint/restore over pluggable
+stores, fault injection, partition-granular recovery via the phase
+journal, the stall-detecting watchdog, retry/degradation supervision
+and strict input validation.
 
-See ``DESIGN.md`` ("Resilience") for the checkpoint file format, the
-fault-plan schema and the degradation ladder.
+See ``DESIGN.md`` ("Resilience") for the checkpoint/store formats, the
+journal record format, the fault-plan schema, the watchdog escalation
+ladder and the degradation ladder.
 """
 
 from .checkpoint import Checkpointable, CheckpointManager, CheckpointSession
 from .faults import FAULT_KINDS, FaultEvent, FaultPlan
+from .journal import PartitionRecord, PhaseJournal
+from .store import (
+    STORE_KINDS,
+    CheckpointStore,
+    LocalDirStore,
+    ReplicatedStore,
+    ShardedStore,
+    make_store,
+)
 from .supervisor import ResiliencePolicy
 from .validation import validate_edgelist, validate_weights
+from .watchdog import ESCALATION_LADDER, Watchdog
 
 __all__ = [
     "Checkpointable",
     "CheckpointManager",
     "CheckpointSession",
+    "CheckpointStore",
+    "ESCALATION_LADDER",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
+    "LocalDirStore",
+    "PartitionRecord",
+    "PhaseJournal",
+    "ReplicatedStore",
     "ResiliencePolicy",
+    "STORE_KINDS",
+    "ShardedStore",
+    "Watchdog",
+    "make_store",
     "validate_edgelist",
     "validate_weights",
 ]

@@ -1,22 +1,19 @@
 """Iteration-level checkpoint/restore for the iterative algorithms.
 
-Format
-------
-One file per (run name, iteration): ``<name>.it<NNNNNNNN>.ckpt``, laid
-out as a small framed container::
+:class:`CheckpointManager` is the algorithm-facing policy layer: it owns
+the run-name → step keying, fault injection, retention and the
+fall-back-to-older-generation logic, and delegates the actual bytes to a
+pluggable :class:`~repro.resilience.store.CheckpointStore` backend
+(:class:`~repro.resilience.store.LocalDirStore` by default — one framed
+``<name>.it<NNNNNNNN>.ckpt`` container per step, preserving the original
+on-disk format bit-for-bit; see ``store.py`` for the sharded and
+replicated backends and the framing details).
 
-    8 bytes   magic  b"RPRCKPT1"
-    4 bytes   CRC32 of the payload (big-endian)
-    8 bytes   payload length        (big-endian)
-    N bytes   payload: an ``.npz`` archive of the state arrays
-
-Writes go to a ``.tmp`` sibling which is fsynced and ``os.replace``d
-into place, so a crash mid-write never leaves a half file under the
-final name; a crash mid-rename leaves either the old or the new file.
-Loads verify the magic, length and CRC32 and raise the typed
-:class:`~repro.errors.CheckpointCorruptError` on any mismatch —
-:meth:`CheckpointManager.load_latest` then falls back to the newest
-*valid* checkpoint so a corrupted tail costs one iteration, not the run.
+Loads are integrity-verified by the store and raise the typed
+:class:`~repro.errors.CheckpointCorruptError` on any unrepairable
+mismatch — :meth:`CheckpointManager.load_latest` then falls back to the
+newest *valid* generation so a corrupted tail costs one iteration, not
+the run.
 
 Algorithms participate through the tiny :class:`Checkpointable`
 protocol (a dict of named state arrays out, the same dict restored in
@@ -26,18 +23,15 @@ manager and a save cadence.
 
 from __future__ import annotations
 
-import io
 import logging
 import os
-import re
-import struct
-import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Protocol
 
 import numpy as np
 
 from ..errors import CheckpointCorruptError, CheckpointError
+from .store import CheckpointStore, LocalDirStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
     from .faults import FaultPlan
@@ -45,10 +39,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
 __all__ = ["Checkpointable", "CheckpointManager", "CheckpointSession"]
 
 log = logging.getLogger(__name__)
-
-_MAGIC = b"RPRCKPT1"
-_HEADER = struct.Struct(">IQ")  # crc32, payload length
-_FILE_RE = re.compile(r"^(?P<name>.+)\.it(?P<step>\d{8})\.ckpt$")
 
 
 class Checkpointable(Protocol):
@@ -63,100 +53,141 @@ class Checkpointable(Protocol):
         ...
 
 
-def _safe_name(name: str) -> str:
-    return re.sub(r"[^A-Za-z0-9._-]+", "-", name) or "run"
-
-
 class CheckpointManager:
-    """Atomic, integrity-checked checkpoint files under one directory."""
+    """Keyed, fault-injectable checkpoints over a pluggable store.
+
+    Parameters
+    ----------
+    directory:
+        Convenience: builds a :class:`LocalDirStore` there (the original
+        single-file format).  Mutually optional with ``store``.
+    store:
+        An explicit :class:`CheckpointStore` backend; overrides
+        ``directory``.
+    fault_plan:
+        Optional plan whose ``corrupt_checkpoint`` / ``corrupt_shard`` /
+        ``lost_replica`` events damage the generation written at that
+        step, exercising the integrity/repair paths.
+    keep_last:
+        Retention: after each save, prune all but the newest N
+        generations of that run.  ``None`` (default) keeps everything —
+        the historical behaviour.  Note that ``keep_last=1`` removes the
+        older generations sharded repair and corrupt-tail fallback
+        recover from.
+    """
 
     def __init__(
-        self, directory: str | os.PathLike, *, fault_plan: "FaultPlan | None" = None
+        self,
+        directory: str | os.PathLike | None = None,
+        *,
+        store: CheckpointStore | None = None,
+        fault_plan: "FaultPlan | None" = None,
+        keep_last: int | None = None,
     ) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        #: optional fault plan whose ``corrupt_checkpoint`` events flip a
-        #: payload byte right after a save (testing the CRC path).
+        if store is None:
+            if directory is None:
+                raise ValueError("CheckpointManager needs a directory or a store")
+            store = LocalDirStore(directory)
+        self.store = store
+        #: backing directory when the store has one (``None`` otherwise).
+        self.directory = (
+            Path(directory)
+            if directory is not None
+            else getattr(store, "directory", None)
+        )
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None for unbounded)")
+        self.keep_last = keep_last
+        #: optional fault plan whose storage events damage fresh saves.
         self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     def path_for(self, name: str, step: int) -> Path:
-        """The checkpoint file for ``(name, step)``."""
-        return self.directory / f"{_safe_name(name)}.it{step:08d}.ckpt"
+        """The on-disk location of ``(name, step)``, for stores that have one."""
+        if hasattr(self.store, "path_for"):
+            return self.store.path_for(name, step)
+        if hasattr(self.store, "generation_dir"):
+            return self.store.generation_dir(name, step)
+        raise CheckpointError(
+            f"{self.store.kind} store has no single on-disk path per checkpoint"
+        )
 
     def steps(self, name: str) -> list[int]:
         """All checkpointed steps for ``name``, ascending."""
-        safe = _safe_name(name)
-        out = []
-        for path in self.directory.glob(f"{safe}.it*.ckpt"):
-            m = _FILE_RE.match(path.name)
-            if m and m.group("name") == safe:
-                out.append(int(m.group("step")))
-        return sorted(out)
+        return self.store.steps(name)
+
+    def names(self) -> list[str]:
+        """All run names with at least one checkpoint."""
+        return self.store.names()
 
     # ------------------------------------------------------------------
-    def save(self, name: str, step: int, arrays: Mapping[str, np.ndarray]) -> Path:
-        """Atomically write one checkpoint; returns its path."""
-        buf = io.BytesIO()
-        np.savez_compressed(buf, **{k: np.asarray(v) for k, v in arrays.items()})
-        payload = buf.getvalue()
-        final = self.path_for(name, step)
-        tmp = final.with_name(final.name + ".tmp")
-        try:
-            with open(tmp, "wb") as fh:
-                fh.write(_MAGIC)
-                fh.write(_HEADER.pack(zlib.crc32(payload), len(payload)))
-                fh.write(payload)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, final)
-        except OSError as exc:
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
-            raise CheckpointError(f"cannot write checkpoint {final}: {exc}") from exc
-        if self.fault_plan is not None and self.fault_plan.take_checkpoint_corruption(step):
-            self._corrupt(final)
-        return final
+    def save(
+        self, name: str, step: int, arrays: Mapping[str, np.ndarray]
+    ) -> Path | None:
+        """Atomically write one checkpoint; returns its path when one exists.
 
-    def _corrupt(self, path: Path) -> None:
-        """Flip the last payload byte in place (fault injection only)."""
-        with open(path, "r+b") as fh:
-            fh.seek(-1, os.SEEK_END)
-            last = fh.read(1)[0]
-            fh.seek(-1, os.SEEK_END)
-            fh.write(bytes([last ^ 0xFF]))
-        log.warning("fault injection corrupted checkpoint %s", path)
+        After a successful write the fault plan may damage the fresh
+        generation (corruption / shard tear / replica loss), and the
+        retention policy prunes generations beyond ``keep_last``.
+        """
+        self.store.save(name, step, arrays)
+        plan = self.fault_plan
+        if plan is not None:
+            if plan.take_checkpoint_corruption(step):
+                self.store.corrupt(name, step)
+            if plan.take_shard_corruption(step):
+                if hasattr(self.store, "corrupt_shard"):
+                    self.store.corrupt_shard(name, step)
+                else:
+                    self.store.corrupt(name, step)
+            if plan.take_lost_replica(step):
+                if hasattr(self.store, "lose_replica"):
+                    self.store.lose_replica(name, step)
+                else:
+                    self.store.delete(name, step)
+        self.prune(name)
+        try:
+            return self.path_for(name, step)
+        except CheckpointError:
+            return None
+
+    def prune(self, name: str, keep_last: int | None = None) -> list[int]:
+        """Drop all but the newest ``keep_last`` generations of ``name``.
+
+        Uses the manager's retention when ``keep_last`` is omitted; a
+        ``None`` retention prunes nothing.  Returns the removed steps.
+        """
+        keep = keep_last if keep_last is not None else self.keep_last
+        if keep is None:
+            return []
+        if keep < 1:
+            raise ValueError("keep_last must be >= 1")
+        doomed = self.steps(name)[:-keep]
+        for step in doomed:
+            self.store.delete(name, step)
+        if doomed:
+            log.info("pruned %d old checkpoint(s) of %s", len(doomed), name)
+        return doomed
+
+    def delete(self, name: str, step: int) -> None:
+        """Remove one generation."""
+        self.store.delete(name, step)
+
+    def verify(self, name: str, step: int) -> bool:
+        """Whether generation ``(name, step)`` loads clean."""
+        return self.store.verify(name, step)
 
     # ------------------------------------------------------------------
     def load(self, name: str, step: int) -> dict[str, np.ndarray]:
         """Load and verify one checkpoint; raises on any integrity failure."""
-        path = self.path_for(name, step)
-        try:
-            raw = path.read_bytes()
-        except FileNotFoundError:
-            raise CheckpointError(f"no checkpoint at {path}") from None
-        header_len = len(_MAGIC) + _HEADER.size
-        if len(raw) < header_len or raw[: len(_MAGIC)] != _MAGIC:
-            raise CheckpointCorruptError(f"{path}: bad magic or truncated header")
-        crc, length = _HEADER.unpack_from(raw, len(_MAGIC))
-        payload = raw[header_len:]
-        if len(payload) != length:
-            raise CheckpointCorruptError(
-                f"{path}: truncated payload ({len(payload)} of {length} bytes)"
-            )
-        if zlib.crc32(payload) != crc:
-            raise CheckpointCorruptError(f"{path}: CRC32 mismatch")
-        with np.load(io.BytesIO(payload)) as data:
-            return {k: data[k] for k in data.files}
+        return self.store.load(name, step)
 
     def load_latest(
         self, name: str, *, allow_fallback: bool = True
     ) -> tuple[int, dict[str, np.ndarray]] | None:
         """Newest valid checkpoint as ``(step, arrays)``, or ``None``.
 
-        With ``allow_fallback`` (the default) corrupt checkpoints are
+        With ``allow_fallback`` (the default) corrupt generations are
         skipped — newest first — with a warning; without it the first
         corruption raises.
         """

@@ -1,7 +1,7 @@
 """Deterministic, seedable fault injection.
 
 A :class:`FaultPlan` is an explicit list of :class:`FaultEvent`\\ s keyed
-by the engine's global edge-map index (and, for partition-task faults,
+by the engine's global edge-map index (and, for partition-scoped faults,
 the partition number).  Each event fires exactly once, so a supervised
 retry of the same phase succeeds — mirroring a transient worker failure.
 Plans are deterministic: the same plan against the same run injects the
@@ -11,18 +11,33 @@ recovery.
 Fault kinds
 -----------
 ``worker_crash``
-    Raise :class:`~repro.errors.WorkerFailure` before the edge-map runs
-    (the whole phase is lost and re-queued).
+    Raise :class:`~repro.errors.WorkerFailure`.  Without a partition the
+    whole phase is lost and re-queued; with ``:partition`` the crash
+    hits one partition task, and the phase journal confines recovery to
+    re-executing just that partition.
 ``partition``
     Raise :class:`WorkerFailure` at the start of one partition task
-    inside the edge-map (a partially applied phase; the supervisor rolls
-    the operator back before retrying).
+    inside the edge-map (a partially applied phase; the journal rolls
+    that partition's write set back before retrying).
 ``oom``
     Raise :class:`~repro.errors.CapacityError` — the paper's §IV.A
     256 GiB wall — triggering the supervisor's degradation ladder.
+    May be partition-scoped.
 ``corrupt_checkpoint``
     Flip a byte of the checkpoint written at that step, exercising the
     CRC32 integrity check and fallback-to-older-checkpoint path.
+``corrupt_shard``
+    Tear one shard of a :class:`~repro.resilience.store.ShardedStore`
+    generation (falls back to whole-checkpoint corruption on stores
+    without shards), exercising repair-on-read.
+``lost_replica``
+    Drop one replica's copy from a
+    :class:`~repro.resilience.store.ReplicatedStore` (falls back to
+    deleting the generation on un-replicated stores), exercising quorum
+    read and re-sync.
+``stall``
+    Make one partition task (simulatedly) overrun its watchdog
+    deadline, driving the retry → requeue → degrade escalation ladder.
 """
 
 from __future__ import annotations
@@ -31,11 +46,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import CapacityError, WorkerFailure
+from ..errors import CapacityError, ValidationError, WorkerFailure
 
 __all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
 
-FAULT_KINDS = ("worker_crash", "partition", "oom", "corrupt_checkpoint")
+FAULT_KINDS = (
+    "worker_crash",
+    "partition",
+    "oom",
+    "corrupt_checkpoint",
+    "corrupt_shard",
+    "lost_replica",
+    "stall",
+)
+
+#: Kinds that must name a partition (``kind@iteration:partition``).
+_PARTITION_REQUIRED = frozenset({"partition", "stall"})
+#: Kinds that may name a partition.
+_PARTITION_ALLOWED = _PARTITION_REQUIRED | {"worker_crash", "oom"}
 
 
 @dataclass
@@ -49,11 +77,19 @@ class FaultEvent:
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}; expected {FAULT_KINDS}")
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; expected {FAULT_KINDS}"
+            )
         if self.iteration < 0:
-            raise ValueError("fault iteration must be non-negative")
-        if (self.partition is not None) != (self.kind == "partition"):
-            raise ValueError("partition= is required for (and only for) 'partition' faults")
+            raise ValidationError("fault iteration must be non-negative")
+        if self.partition is None and self.kind in _PARTITION_REQUIRED:
+            raise ValidationError(f"{self.kind!r} faults require a :partition suffix")
+        if self.partition is not None and self.kind not in _PARTITION_ALLOWED:
+            raise ValidationError(
+                f"{self.kind!r} faults do not take a :partition suffix"
+            )
+        if self.partition is not None and self.partition < 0:
+            raise ValidationError("fault partition must be non-negative")
 
     def spec(self) -> str:
         """The compact ``kind@iteration[:partition]`` form parsed by :meth:`FaultPlan.from_spec`."""
@@ -83,7 +119,7 @@ class FaultPlan:
                 partition = int(part_s) if part_s else None
                 events.append(FaultEvent(kind, int(it_s), partition))
             except ValueError as exc:
-                raise ValueError(
+                raise ValidationError(
                     f"bad fault spec {item!r} (expected kind@iteration[:partition]): {exc}"
                 ) from None
         return cls(events)
@@ -104,13 +140,45 @@ class FaultPlan:
         for _ in range(num_faults):
             kind = kinds[int(rng.integers(len(kinds)))]
             iteration = int(rng.integers(max(iterations, 1)))
-            partition = int(rng.integers(max_partition)) if kind == "partition" else None
+            partition = (
+                int(rng.integers(max_partition))
+                if kind in _PARTITION_REQUIRED
+                else None
+            )
             events.append(FaultEvent(kind, iteration, partition))
         return cls(events)
 
     def to_spec(self) -> str:
         """Round-trippable compact form."""
         return ",".join(ev.spec() for ev in self.events)
+
+    # ------------------------------------------------------------------
+    def validate(self, *, num_partitions: int | None = None) -> "FaultPlan":
+        """Typed sanity check of every event; returns the plan.
+
+        Raises :class:`~repro.errors.ValidationError` for unknown kinds
+        (possible when events are constructed by mutation rather than the
+        checked constructor) and, when ``num_partitions`` is given, for
+        partition-scoped events targeting a partition the store does not
+        have — a misspelled or out-of-range fault would otherwise simply
+        never fire, silently voiding the experiment it was meant to run.
+        """
+        for ev in self.events:
+            if ev.kind not in FAULT_KINDS:
+                raise ValidationError(
+                    f"fault plan names unknown kind {ev.kind!r}; expected one "
+                    f"of {FAULT_KINDS}"
+                )
+            if (
+                num_partitions is not None
+                and ev.partition is not None
+                and not 0 <= ev.partition < num_partitions
+            ):
+                raise ValidationError(
+                    f"fault {ev.spec()!r} targets partition {ev.partition}, but "
+                    f"the store has {num_partitions} partition(s)"
+                )
+        return self
 
     # ------------------------------------------------------------------
     # injection hooks (called by the engine / checkpoint manager)
@@ -128,24 +196,50 @@ class FaultPlan:
                 raise CapacityError(f"injected OOM at edge-map {iteration}")
 
     def before_partition(self, iteration: int, partition: int) -> None:
-        """Fire any pending partition-task fault for this (phase, partition)."""
+        """Fire any pending partition-scoped fault for this (phase, partition)."""
+        for ev in self.events:
+            if ev.fired or ev.iteration != iteration or ev.partition != partition:
+                continue
+            if ev.kind in ("partition", "worker_crash"):
+                ev.fired = True
+                raise WorkerFailure(
+                    f"injected {'worker crash' if ev.kind == 'worker_crash' else 'partition-task failure'} "
+                    f"at edge-map {iteration}, partition {partition}"
+                )
+            if ev.kind == "oom":
+                ev.fired = True
+                raise CapacityError(
+                    f"injected OOM at edge-map {iteration}, partition {partition}"
+                )
+
+    def take_stall(self, iteration: int, partition: int) -> bool:
+        """Consume a pending ``stall`` event for this (phase, partition)."""
         for ev in self.events:
             if (
                 not ev.fired
-                and ev.kind == "partition"
+                and ev.kind == "stall"
                 and ev.iteration == iteration
                 and ev.partition == partition
             ):
                 ev.fired = True
-                raise WorkerFailure(
-                    f"injected partition-task failure at edge-map {iteration}, "
-                    f"partition {partition}"
-                )
+                return True
+        return False
 
     def take_checkpoint_corruption(self, step: int) -> bool:
         """Consume a pending ``corrupt_checkpoint`` event for this step."""
+        return self._take_storage_fault("corrupt_checkpoint", step)
+
+    def take_shard_corruption(self, step: int) -> bool:
+        """Consume a pending ``corrupt_shard`` event for this step."""
+        return self._take_storage_fault("corrupt_shard", step)
+
+    def take_lost_replica(self, step: int) -> bool:
+        """Consume a pending ``lost_replica`` event for this step."""
+        return self._take_storage_fault("lost_replica", step)
+
+    def _take_storage_fault(self, kind: str, step: int) -> bool:
         for ev in self.events:
-            if not ev.fired and ev.kind == "corrupt_checkpoint" and ev.iteration == step:
+            if not ev.fired and ev.kind == kind and ev.iteration == step:
                 ev.fired = True
                 return True
         return False

@@ -1,0 +1,163 @@
+"""Write-ahead phase journal for partition-granular recovery.
+
+The paper's destination-partitioned layouts hand every partition task a
+*disjoint* destination range, which makes partitions independently
+restartable units of work: if partition *k* crashes mid-phase, the
+writes of the partitions that already finished are untouched and only
+*k*'s write set needs rolling back and re-executing.
+
+:class:`PhaseJournal` is the intent log the supervised engine keeps to
+exploit that.  Per edge-map phase it records, for every partition task:
+
+``start``
+    An intent entry written *before* the task executes (this is what
+    makes the log write-ahead: a crash between ``start`` and ``commit``
+    identifies exactly which partition's writes are suspect).
+``commit``
+    The completion record — partition id, destination range, the
+    activated vertex ids, the per-partition statistics contributions,
+    and a CRC32 digest of the partition's slice of every vertex-length
+    state array.
+``replay``
+    On a retry of the same phase, a committed partition is *replayed*
+    from its record (digest-verified) instead of re-executed.
+
+The engine asserts recovery cost through :attr:`reexecutions`: the
+number of partition tasks that ran more than once.  A single injected
+``worker_crash`` on partition *k* must leave it at exactly 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PartitionRecord", "PhaseJournal"]
+
+
+@dataclass
+class PartitionRecord:
+    """One partition task's committed outcome within an edge-map phase.
+
+    Attributes
+    ----------
+    partition:
+        Partition id within the phase's schedule.
+    lo, hi:
+        The destination vertex range ``[lo, hi)`` this partition owns —
+        the write set its ``combine`` contract confines updates to.
+    activated:
+        Vertex ids the operator activated (pre-dedup; the engine's
+        frontier constructor dedups).
+    examined, touched, active_edges, scanned:
+        This partition's contributions to the phase's
+        :class:`~repro.core.stats.EdgeMapStats`.
+    digest:
+        CRC32 over the ``[lo, hi)`` slice of every vertex-length state
+        array *after* the task completed; verified before a replay.
+    """
+
+    partition: int
+    lo: int
+    hi: int
+    activated: np.ndarray
+    examined: int = 0
+    touched: int = 0
+    active_edges: int = 0
+    scanned: int = 0
+    digest: int = 0
+
+    @classmethod
+    def empty(cls, partition: int, lo: int, hi: int) -> "PartitionRecord":
+        """Record of a partition with no work (e.g. an empty vertex range)."""
+        return cls(partition, lo, hi, np.empty(0, dtype=np.int64))
+
+
+class PhaseJournal:
+    """Intent log of partition completions within the current phase."""
+
+    def __init__(self) -> None:
+        #: edge-map index of the phase currently journalled.
+        self.phase: int | None = None
+        self._records: dict[int, PartitionRecord] = {}
+        self._executions: dict[int, int] = {}
+        #: cumulative count of partition tasks executed more than once —
+        #: the recovery cost a partition-granular fault is allowed to pay.
+        self.reexecutions: int = 0
+        #: cumulative count of committed partitions replayed from record.
+        self.replays: int = 0
+        #: append-only human-readable intent log across the whole run.
+        self.entries: list[str] = []
+
+    # ------------------------------------------------------------------
+    def begin_phase(self, index: int) -> None:
+        """Open phase ``index``; re-entering the same phase (a supervised
+        retry) keeps the committed records so they can be replayed."""
+        if self.phase != index:
+            self.phase = index
+            self._records.clear()
+            self._executions.clear()
+
+    def invalidate(self) -> None:
+        """Discard the current phase's records (whole-phase rollback or a
+        partition-count change made them unreplayable)."""
+        if self._records:
+            self.entries.append(f"phase {self.phase}: journal invalidated")
+        self._records.clear()
+        self._executions.clear()
+
+    # ------------------------------------------------------------------
+    def completed(self, partition: int) -> PartitionRecord | None:
+        """The committed record for ``partition`` in this phase, if any."""
+        return self._records.get(partition)
+
+    def note_execution(self, partition: int) -> None:
+        """Write the intent entry: ``partition`` is about to execute."""
+        count = self._executions.get(partition, 0) + 1
+        self._executions[partition] = count
+        if count > 1:
+            self.reexecutions += 1
+        self.entries.append(
+            f"phase {self.phase}: start partition {partition} (execution {count})"
+        )
+
+    def commit(self, record: PartitionRecord) -> None:
+        """Commit a completed partition's record."""
+        self._records[record.partition] = record
+        self.entries.append(
+            f"phase {self.phase}: commit partition {record.partition} "
+            f"range [{record.lo}, {record.hi}) digest {record.digest:#010x}"
+        )
+
+    def note_replay(self, partition: int) -> None:
+        """Record that a committed partition was replayed, not re-executed."""
+        self.replays += 1
+        self.entries.append(f"phase {self.phase}: replay partition {partition}")
+
+    def drop(self, partition: int) -> None:
+        """Discard one record whose digest no longer matches the state."""
+        self._records.pop(partition, None)
+        self.entries.append(
+            f"phase {self.phase}: dropped stale record for partition {partition}"
+        )
+
+    # ------------------------------------------------------------------
+    def has_commits(self) -> bool:
+        """Whether the current phase holds any committed partitions."""
+        return bool(self._records)
+
+    def num_commits(self) -> int:
+        """Committed partition count in the current phase."""
+        return len(self._records)
+
+    @property
+    def reexecution_count(self) -> int:
+        """Partition tasks executed more than once, over the whole run."""
+        return self.reexecutions
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseJournal(phase={self.phase}, commits={len(self._records)}, "
+            f"reexecutions={self.reexecutions}, replays={self.replays})"
+        )

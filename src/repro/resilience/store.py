@@ -1,0 +1,525 @@
+"""Pluggable checkpoint storage backends.
+
+:class:`CheckpointStore` is the byte-level contract behind
+:class:`~repro.resilience.CheckpointManager`: a keyed map from
+``(run name, step)`` to a dict of named numpy arrays, with atomic commit
+and integrity verification on read.  Three backends ship:
+
+:class:`LocalDirStore`
+    The original single-file format — one framed ``.ckpt`` container per
+    step (magic, CRC32, length, ``.npz`` payload), committed with
+    tmp-write + fsync + ``os.replace``.
+
+:class:`ShardedStore`
+    One *shard file per state array* plus an atomically-committed
+    manifest per step (a "generation").  Shards are individually framed
+    and CRC-checked; the manifest — written last — is the commit point,
+    so a crash mid-save leaves an invisible, uncommitted generation.  A
+    torn shard detected on read is *repaired from the previous
+    generation* when that generation's manifest records the same digest
+    (the array did not change between steps); otherwise the generation
+    is reported corrupt and the manager falls back to the previous one.
+
+:class:`ReplicatedStore`
+    N-way mirroring over any child stores.  Writes must reach a quorum
+    (majority by default) or the save fails; reads walk the replicas in
+    order and return the first generation that verifies, then re-sync
+    the lagging/corrupt replicas from the healthy copy.
+
+``make_store`` builds any of the three from the CLI's ``--store`` flag.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import os
+import re
+import shutil
+import struct
+import zlib
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import CheckpointCorruptError, CheckpointError
+
+__all__ = [
+    "CheckpointStore",
+    "LocalDirStore",
+    "ShardedStore",
+    "ReplicatedStore",
+    "STORE_KINDS",
+    "make_store",
+]
+
+log = logging.getLogger(__name__)
+
+#: CLI-selectable backend names.
+STORE_KINDS = ("local", "sharded", "replicated")
+
+_CKPT_MAGIC = b"RPRCKPT1"
+_SHARD_MAGIC = b"RPRSHRD1"
+_MANIFEST_MAGIC = b"RPRMANI1"
+_HEADER = struct.Struct(">IQ")  # crc32, payload length
+_FILE_RE = re.compile(r"^(?P<name>.+)\.it(?P<step>\d{8})\.ckpt$")
+_GEN_RE = re.compile(r"^(?P<name>.+)\.it(?P<step>\d{8})$")
+_MANIFEST_FILE = "manifest.mf"
+
+
+def safe_name(name: str) -> str:
+    """Filesystem-safe form of a run name."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name) or "run"
+
+
+def _write_framed(path: Path, magic: bytes, payload: bytes) -> None:
+    """Atomically write ``magic + header + payload`` via a tmp sibling."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(magic)
+            fh.write(_HEADER.pack(zlib.crc32(payload), len(payload)))
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write {path}: {exc}") from exc
+
+
+def _read_framed(path: Path, magic: bytes) -> bytes:
+    """Read and verify a framed container; returns the payload."""
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(f"no file at {path}") from None
+    header_len = len(magic) + _HEADER.size
+    if len(raw) < header_len or raw[: len(magic)] != magic:
+        raise CheckpointCorruptError(f"{path}: bad magic or truncated header")
+    crc, length = _HEADER.unpack_from(raw, len(magic))
+    payload = raw[header_len:]
+    if len(payload) != length:
+        raise CheckpointCorruptError(
+            f"{path}: truncated payload ({len(payload)} of {length} bytes)"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CheckpointCorruptError(f"{path}: CRC32 mismatch")
+    return payload
+
+
+def _flip_last_byte(path: Path) -> None:
+    """Corrupt a file in place (fault injection only)."""
+    with open(path, "r+b") as fh:
+        fh.seek(-1, os.SEEK_END)
+        last = fh.read(1)[0]
+        fh.seek(-1, os.SEEK_END)
+        fh.write(bytes([last ^ 0xFF]))
+
+
+class CheckpointStore(ABC):
+    """Byte-level backend of the checkpoint manager.
+
+    Implementations must make ``save`` atomic (a crash leaves either the
+    previous or the new generation, never a half-written one) and
+    ``load`` integrity-checked (:class:`CheckpointCorruptError` on any
+    torn or flipped byte that cannot be repaired).
+    """
+
+    #: short backend identifier (``local`` / ``sharded`` / ``replicated``).
+    kind: str = "abstract"
+
+    @abstractmethod
+    def save(self, name: str, step: int, arrays: Mapping[str, np.ndarray]) -> None:
+        """Atomically persist one generation."""
+
+    @abstractmethod
+    def load(self, name: str, step: int) -> dict[str, np.ndarray]:
+        """Load and verify one generation."""
+
+    @abstractmethod
+    def steps(self, name: str) -> list[int]:
+        """Committed steps for ``name``, ascending."""
+
+    @abstractmethod
+    def names(self) -> list[str]:
+        """All run names with at least one committed generation."""
+
+    @abstractmethod
+    def delete(self, name: str, step: int) -> None:
+        """Remove one generation (missing generations are a no-op)."""
+
+    # ------------------------------------------------------------------
+    def verify(self, name: str, step: int) -> bool:
+        """Whether generation ``(name, step)`` loads clean."""
+        try:
+            self.load(name, step)
+        except CheckpointError:
+            return False
+        return True
+
+    def size_bytes(self, name: str, step: int) -> int | None:
+        """On-disk footprint of one generation, if cheaply known."""
+        return None
+
+    def corrupt(self, name: str, step: int) -> None:
+        """Flip a byte of the stored generation (fault injection only)."""
+        raise NotImplementedError(f"{self.kind} store does not support corrupt()")
+
+
+def _npz_bytes(arrays: Mapping[str, np.ndarray]) -> bytes:
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **{k: np.asarray(v) for k, v in arrays.items()})
+    return buf.getvalue()
+
+
+def _npz_arrays(payload: bytes) -> dict[str, np.ndarray]:
+    with np.load(io.BytesIO(payload)) as data:
+        return {k: data[k] for k in data.files}
+
+
+class LocalDirStore(CheckpointStore):
+    """One framed ``<name>.it<NNNNNNNN>.ckpt`` file per generation."""
+
+    kind = "local"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, name: str, step: int) -> Path:
+        """The checkpoint file for ``(name, step)``."""
+        return self.directory / f"{safe_name(name)}.it{step:08d}.ckpt"
+
+    def save(self, name: str, step: int, arrays: Mapping[str, np.ndarray]) -> None:
+        _write_framed(self.path_for(name, step), _CKPT_MAGIC, _npz_bytes(arrays))
+
+    def load(self, name: str, step: int) -> dict[str, np.ndarray]:
+        path = self.path_for(name, step)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint at {path}")
+        return _npz_arrays(_read_framed(path, _CKPT_MAGIC))
+
+    def steps(self, name: str) -> list[int]:
+        safe = safe_name(name)
+        out = []
+        for path in self.directory.glob(f"{safe}.it*.ckpt"):
+            m = _FILE_RE.match(path.name)
+            if m and m.group("name") == safe:
+                out.append(int(m.group("step")))
+        return sorted(out)
+
+    def names(self) -> list[str]:
+        found = set()
+        for path in self.directory.glob("*.ckpt"):
+            m = _FILE_RE.match(path.name)
+            if m:
+                found.add(m.group("name"))
+        return sorted(found)
+
+    def delete(self, name: str, step: int) -> None:
+        self.path_for(name, step).unlink(missing_ok=True)
+
+    def size_bytes(self, name: str, step: int) -> int | None:
+        path = self.path_for(name, step)
+        return path.stat().st_size if path.exists() else None
+
+    def corrupt(self, name: str, step: int) -> None:
+        _flip_last_byte(self.path_for(name, step))
+        log.warning("fault injection corrupted checkpoint %s step %d", name, step)
+
+
+class ShardedStore(CheckpointStore):
+    """One shard per state array, committed by an atomic manifest.
+
+    Generation layout::
+
+        <dir>/<name>.it<NNNNNNNN>/
+            <array>.shard     framed (magic, CRC32, length, raw .npy bytes)
+            manifest.mf       framed JSON: {key: {file, crc32, bytes}}
+
+    The manifest write is the commit point; a generation without a valid
+    manifest does not exist as far as :meth:`steps` is concerned.  Torn
+    shards are repaired on read from the newest older generation whose
+    manifest records the same CRC (see :meth:`load`).
+    """
+
+    kind = "sharded"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def generation_dir(self, name: str, step: int) -> Path:
+        """Directory holding one generation's shards and manifest."""
+        return self.directory / f"{safe_name(name)}.it{step:08d}"
+
+    def _shard_path(self, gen: Path, key: str) -> Path:
+        return gen / f"{safe_name(key)}.shard"
+
+    @staticmethod
+    def _array_bytes(array: np.ndarray) -> bytes:
+        buf = io.BytesIO()
+        np.save(buf, np.asarray(array), allow_pickle=False)
+        return buf.getvalue()
+
+    # ------------------------------------------------------------------
+    def save(self, name: str, step: int, arrays: Mapping[str, np.ndarray]) -> None:
+        gen = self.generation_dir(name, step)
+        gen.mkdir(parents=True, exist_ok=True)
+        manifest: dict[str, dict] = {}
+        for key, array in arrays.items():
+            payload = self._array_bytes(array)
+            _write_framed(self._shard_path(gen, key), _SHARD_MAGIC, payload)
+            manifest[key] = {
+                "file": self._shard_path(gen, key).name,
+                "crc32": zlib.crc32(payload),
+                "bytes": len(payload),
+            }
+        body = json.dumps({"name": name, "step": step, "shards": manifest}).encode()
+        _write_framed(gen / _MANIFEST_FILE, _MANIFEST_MAGIC, body)
+
+    def _manifest(self, name: str, step: int) -> dict:
+        gen = self.generation_dir(name, step)
+        path = gen / _MANIFEST_FILE
+        if not path.exists():
+            raise CheckpointError(f"no committed generation at {gen}")
+        try:
+            return json.loads(_read_framed(path, _MANIFEST_MAGIC))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointCorruptError(f"{path}: undecodable manifest: {exc}") from None
+
+    def _load_shard(self, name: str, step: int, key: str, expect_crc: int) -> bytes:
+        gen = self.generation_dir(name, step)
+        payload = _read_framed(self._shard_path(gen, key), _SHARD_MAGIC)
+        if zlib.crc32(payload) != expect_crc:
+            raise CheckpointCorruptError(
+                f"{self._shard_path(gen, key)}: shard CRC does not match its manifest"
+            )
+        return payload
+
+    def _repair_shard(self, name: str, step: int, key: str, expect_crc: int) -> bytes:
+        """Torn-shard repair: copy the bytes from an older generation.
+
+        Only a generation whose manifest records the *same* CRC for this
+        shard can repair it bit-identically; the newest such generation
+        wins.  The repaired bytes are rewritten in place so subsequent
+        reads are clean.
+        """
+        for older in reversed([s for s in self.steps(name) if s < step]):
+            try:
+                manifest = self._manifest(name, older)
+                entry = manifest["shards"].get(key)
+                if entry is None or entry["crc32"] != expect_crc:
+                    continue
+                payload = self._load_shard(name, older, key, expect_crc)
+            except CheckpointError:
+                continue
+            _write_framed(
+                self._shard_path(self.generation_dir(name, step), key),
+                _SHARD_MAGIC,
+                payload,
+            )
+            log.warning(
+                "repaired torn shard %s of %s step %d from generation %d",
+                key, name, step, older,
+            )
+            return payload
+        raise CheckpointCorruptError(
+            f"shard {key!r} of {name} step {step} is torn and no older "
+            "generation holds an identical copy"
+        )
+
+    def load(self, name: str, step: int) -> dict[str, np.ndarray]:
+        manifest = self._manifest(name, step)
+        out: dict[str, np.ndarray] = {}
+        for key, entry in manifest["shards"].items():
+            try:
+                payload = self._load_shard(name, step, key, entry["crc32"])
+            except CheckpointCorruptError:
+                payload = self._repair_shard(name, step, key, entry["crc32"])
+            out[key] = np.load(io.BytesIO(payload), allow_pickle=False)
+        return out
+
+    def steps(self, name: str) -> list[int]:
+        safe = safe_name(name)
+        out = []
+        for gen in self.directory.glob(f"{safe}.it*"):
+            m = _GEN_RE.match(gen.name)
+            if m and m.group("name") == safe and (gen / _MANIFEST_FILE).exists():
+                out.append(int(m.group("step")))
+        return sorted(out)
+
+    def names(self) -> list[str]:
+        found = set()
+        for gen in self.directory.iterdir():
+            m = _GEN_RE.match(gen.name)
+            if m and (gen / _MANIFEST_FILE).exists():
+                found.add(m.group("name"))
+        return sorted(found)
+
+    def delete(self, name: str, step: int) -> None:
+        gen = self.generation_dir(name, step)
+        if gen.exists():
+            # Remove the manifest first so a crash mid-delete leaves an
+            # uncommitted (invisible) generation, not a torn one.
+            (gen / _MANIFEST_FILE).unlink(missing_ok=True)
+            shutil.rmtree(gen, ignore_errors=True)
+
+    def size_bytes(self, name: str, step: int) -> int | None:
+        gen = self.generation_dir(name, step)
+        if not gen.exists():
+            return None
+        return sum(p.stat().st_size for p in gen.iterdir() if p.is_file())
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def corrupt(self, name: str, step: int) -> None:
+        """Tear the manifest: the whole generation becomes invalid."""
+        _flip_last_byte(self.generation_dir(name, step) / _MANIFEST_FILE)
+        log.warning("fault injection tore manifest of %s step %d", name, step)
+
+    def corrupt_shard(self, name: str, step: int) -> None:
+        """Tear one shard (the first in sorted key order, deterministic)."""
+        manifest = self._manifest(name, step)
+        key = sorted(manifest["shards"])[0]
+        _flip_last_byte(self._shard_path(self.generation_dir(name, step), key))
+        log.warning("fault injection tore shard %s of %s step %d", key, name, step)
+
+
+class ReplicatedStore(CheckpointStore):
+    """N-way mirrored stores with quorum writes and repair-on-read.
+
+    ``save`` must succeed on at least ``write_quorum`` replicas (majority
+    by default) or raises :class:`CheckpointError`.  ``load`` walks *all*
+    replicas in order, returns the first copy that verifies, and then
+    re-syncs every replica that was missing or corrupt from the healthy
+    copy (the "background re-sync" of a real deployment, performed
+    synchronously here so tests stay deterministic).
+    """
+
+    kind = "replicated"
+
+    def __init__(
+        self, replicas: list[CheckpointStore], *, write_quorum: int | None = None
+    ) -> None:
+        if not replicas:
+            raise ValueError("ReplicatedStore needs at least one replica")
+        default_quorum = len(replicas) // 2 + 1
+        self.replicas = list(replicas)
+        self.write_quorum = write_quorum if write_quorum is not None else default_quorum
+        if not (1 <= self.write_quorum <= len(replicas)):
+            raise ValueError(
+                f"write_quorum must lie in [1, {len(replicas)}], got {self.write_quorum}"
+            )
+
+    def save(self, name: str, step: int, arrays: Mapping[str, np.ndarray]) -> None:
+        acked = 0
+        last_error: Exception | None = None
+        for replica in self.replicas:
+            try:
+                replica.save(name, step, arrays)
+                acked += 1
+            except CheckpointError as exc:  # pragma: no cover - disk faults
+                last_error = exc
+                log.warning("replica %s failed to ack save: %s", replica.kind, exc)
+        if acked < self.write_quorum:
+            raise CheckpointError(
+                f"checkpoint {name} step {step} reached only {acked} of "
+                f"{self.write_quorum} required replicas"
+            ) from last_error
+
+    def load(self, name: str, step: int) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] | None = None
+        stale: list[CheckpointStore] = []
+        last_error: Exception | None = None
+        for replica in self.replicas:
+            if arrays is None:
+                try:
+                    arrays = replica.load(name, step)
+                    continue
+                except CheckpointError as exc:
+                    last_error = exc
+                    stale.append(replica)
+            elif not replica.verify(name, step):
+                stale.append(replica)
+        if arrays is None:
+            assert last_error is not None
+            raise last_error
+        for replica in stale:
+            try:
+                replica.save(name, step, arrays)
+                log.warning(
+                    "re-synced replica for %s step %d from a healthy copy", name, step
+                )
+            except CheckpointError as exc:  # pragma: no cover - disk faults
+                log.warning("re-sync of %s step %d failed: %s", name, step, exc)
+        return arrays
+
+    def steps(self, name: str) -> list[int]:
+        out: set[int] = set()
+        for replica in self.replicas:
+            out.update(replica.steps(name))
+        return sorted(out)
+
+    def names(self) -> list[str]:
+        out: set[str] = set()
+        for replica in self.replicas:
+            out.update(replica.names())
+        return sorted(out)
+
+    def delete(self, name: str, step: int) -> None:
+        for replica in self.replicas:
+            replica.delete(name, step)
+
+    def size_bytes(self, name: str, step: int) -> int | None:
+        for replica in self.replicas:
+            size = replica.size_bytes(name, step)
+            if size is not None:
+                return size
+        return None
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def corrupt(self, name: str, step: int) -> None:
+        """Corrupt every replica: the generation is unrecoverable."""
+        for replica in self.replicas:
+            replica.corrupt(name, step)
+
+    def lose_replica(self, name: str, step: int, *, replica: int = 0) -> None:
+        """Drop one replica's copy (fault injection: a lost node)."""
+        self.replicas[replica].delete(name, step)
+        log.warning(
+            "fault injection lost replica %d copy of %s step %d", replica, name, step
+        )
+
+
+def make_store(
+    kind: str, directory: str | os.PathLike, *, replicas: int = 2
+) -> CheckpointStore:
+    """Build a store backend from its CLI name.
+
+    ``replicated`` mirrors a :class:`ShardedStore` across ``replicas``
+    subdirectories of ``directory`` (``replica-0``, ``replica-1``, ...).
+    """
+    if kind == "local":
+        return LocalDirStore(directory)
+    if kind == "sharded":
+        return ShardedStore(directory)
+    if kind == "replicated":
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        children = [
+            ShardedStore(Path(directory) / f"replica-{i}") for i in range(replicas)
+        ]
+        return ReplicatedStore(children)
+    raise ValueError(f"unknown store kind {kind!r}; expected one of {STORE_KINDS}")

@@ -23,7 +23,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from .faults import FaultPlan
+from .watchdog import Watchdog
 
 __all__ = ["ResiliencePolicy"]
 
@@ -44,9 +47,23 @@ class ResiliencePolicy:
         sleeping so simulated runs stay fast.
     min_partitions:
         Floor of the degradation ladder; halving stops here.
+    backoff_jitter:
+        Fractional spread added to each backoff delay (``delay`` becomes
+        ``delay * (1 + jitter * u)`` with ``u`` uniform in ``[0, 1)``),
+        de-synchronising retry storms.  0 (the default) keeps delays
+        exact.
+    rng_seed:
+        Seed of the jitter stream.  The policy never consults module
+        globals or wall-clock entropy, so two runs with the same seed
+        draw identical jitter — supervised runs stay bit-reproducible
+        and graphlint GL005 holds for this package.
     fault_plan:
         Optional :class:`FaultPlan` consulted before each edge-map and
         partition task.
+    watchdog:
+        Optional :class:`~repro.resilience.watchdog.Watchdog` enforcing
+        per-partition deadlines with the retry → requeue → degrade
+        escalation ladder.
     sleep:
         Injection point for tests; defaults to :func:`time.sleep`.
     """
@@ -56,7 +73,10 @@ class ResiliencePolicy:
     backoff_factor: float = 2.0
     backoff_cap: float = 30.0
     min_partitions: int = 1
+    backoff_jitter: float = 0.0
+    rng_seed: int = 0
     fault_plan: FaultPlan | None = None
+    watchdog: Watchdog | None = None
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
     def __post_init__(self) -> None:
@@ -66,10 +86,16 @@ class ResiliencePolicy:
             raise ValueError("backoff parameters must be non-negative (factor >= 1)")
         if self.min_partitions < 1:
             raise ValueError("min_partitions must be >= 1")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be >= 0")
+        self._rng = np.random.default_rng(self.rng_seed)
 
     def backoff_delay(self, attempt: int) -> float:
-        """Delay before retry ``attempt`` (0-based), capped."""
-        return min(self.backoff_cap, self.backoff_base * self.backoff_factor**attempt)
+        """Delay before retry ``attempt`` (0-based), capped, then jittered."""
+        delay = min(self.backoff_cap, self.backoff_base * self.backoff_factor**attempt)
+        if self.backoff_jitter > 0 and delay > 0:
+            delay *= 1.0 + self.backoff_jitter * float(self._rng.random())
+        return delay
 
     def wait(self, attempt: int) -> float:
         """Sleep the backoff delay; returns the delay used."""

@@ -1,0 +1,117 @@
+"""Stall-detecting watchdog with a deterministic escalation ladder.
+
+A hung partition task is a failure mode retries keyed on *exceptions*
+never see: nothing is raised, the phase simply stops making progress.
+The watchdog closes that gap by giving every partition task a deadline
+derived from the cost model's predicted partition time (edges ×
+(``t_edge_ns`` + ``t_update_ns``) + ``t_sched_ns``, times a ``grace``
+slack factor) and escalating when a task overruns it:
+
+1. **retry** — the first overrun raises
+   :class:`~repro.errors.StallTimeout` (a
+   :class:`~repro.errors.WorkerFailure`), so the supervisor rolls back
+   and re-executes *only that partition* via the phase journal;
+2. **requeue** — a repeat offender is additionally moved to a different
+   scheduler slot (:func:`~repro.machine.scheduler.reassign_slot`, the
+   LPT re-queue of the machine model) before the retry, modelling a
+   slow/poisoned worker rather than a transient hiccup;
+3. **degrade** — a partition that keeps stalling raises
+   :class:`~repro.errors.CapacityError`, handing control to the
+   supervisor's degradation ladder (halve the partition count and
+   rebuild the layouts).
+
+Time is fully *simulated*: the observed elapsed time equals the
+prediction unless a ``stall`` fault event injects an overrun, so runs
+stay bit-reproducible and graphlint GL005 (no wall-clock in decision
+paths) holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Watchdog", "ESCALATION_LADDER"]
+
+#: The escalation actions in order of severity.
+ESCALATION_LADDER = ("retry", "requeue", "degrade")
+
+
+def _default_params():
+    # Deferred import: machine.cost imports core.stats, and the core
+    # package imports the resilience package — resolving CostParameters
+    # lazily keeps the import graph acyclic from every entry point.
+    from ..machine.cost import CostParameters
+
+    return CostParameters()
+
+
+@dataclass
+class Watchdog:
+    """Per-partition deadline enforcement over simulated time.
+
+    Attributes
+    ----------
+    params:
+        :class:`~repro.machine.cost.CostParameters` the deadline derives
+        from (defaults to the calibrated constants).
+    grace:
+        Slack multiplier over the predicted partition time; a task is
+        stalled when its elapsed time exceeds ``grace × predicted``.
+    requeue_after, degrade_after:
+        Overrun counts (per partition) at which escalation moves from
+        plain retry to scheduler requeue, and from requeue to partition
+        degradation.
+    """
+
+    params: object = field(default_factory=_default_params)
+    grace: float = 2.0
+    requeue_after: int = 2
+    degrade_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.grace <= 0:
+            raise ValueError("grace must be > 0")
+        if not (1 <= self.requeue_after < self.degrade_after):
+            raise ValueError("need 1 <= requeue_after < degrade_after")
+        #: per-partition overrun counts driving the escalation ladder.
+        self.overruns: dict[int, int] = {}
+        #: human-readable overrun/escalation history.
+        self.log: list[str] = []
+
+    # ------------------------------------------------------------------
+    def predicted_ns(self, num_edges: int) -> float:
+        """Cost-model prediction of one partition task's time."""
+        p = self.params
+        return num_edges * (p.t_edge_ns + p.t_update_ns) + p.t_sched_ns
+
+    def deadline_ns(self, num_edges: int) -> float:
+        """The task's deadline: prediction times the grace factor."""
+        return self.grace * self.predicted_ns(num_edges)
+
+    # ------------------------------------------------------------------
+    def observe(self, partition: int, num_edges: int, elapsed_ns: float) -> str | None:
+        """Check one task's (simulated) elapsed time against its deadline.
+
+        Returns ``None`` when the task met its deadline, else the next
+        rung of :data:`ESCALATION_LADDER` for this partition.
+        """
+        deadline = self.deadline_ns(num_edges)
+        if elapsed_ns <= deadline:
+            return None
+        count = self.overruns.get(partition, 0) + 1
+        self.overruns[partition] = count
+        if count >= self.degrade_after:
+            action = "degrade"
+        elif count >= self.requeue_after:
+            action = "requeue"
+        else:
+            action = "retry"
+        self.log.append(
+            f"partition {partition} overran deadline "
+            f"({elapsed_ns:.0f} ns > {deadline:.0f} ns, overrun {count}): {action}"
+        )
+        return action
+
+    def reset(self) -> None:
+        """Forget overrun history (partition ids changed after degrading)."""
+        self.overruns.clear()

@@ -81,3 +81,70 @@ def test_force_atomics_copies(bench):
 def test_stats_of_rejects_junk():
     with pytest.raises(TypeError):
         Workbench._stats_of(object())
+
+
+# ----------------------------------------------------------------------
+# fault-plan coverage: the harness can run every engine supervised
+# ----------------------------------------------------------------------
+def _crash_factory(built):
+    from repro.resilience import FaultPlan, ResiliencePolicy
+
+    def factory():
+        policy = ResiliencePolicy(
+            max_retries=4, fault_plan=FaultPlan.from_spec("worker_crash@1")
+        )
+        built.append(policy)
+        return policy
+
+    return factory
+
+
+def test_resilience_factory_supervises_layout_runs(bench):
+    plain = bench.run_layout("PR", num_partitions=16, forced_layout="coo")
+    built = []
+    supervised = Workbench(
+        edges=bench.edges,
+        machine=bench.machine,
+        num_threads=8,
+        cache=bench.cache,
+        resilience_factory=_crash_factory(built),
+    )
+    faulted = supervised.run_layout("PR", num_partitions=16, forced_layout="coo")
+    # recovery is bit-identical, so the modelled time is too
+    assert faulted == plain
+    # one fresh policy per engine build, and its fault actually fired
+    assert len(built) == 1
+    assert not built[0].fault_plan.pending()
+
+
+def test_resilience_factory_supervises_system_runs(bench):
+    plain = bench.run_system("ligra", "PR", default_partitions=32)
+    built = []
+    supervised = Workbench(
+        edges=bench.edges,
+        machine=bench.machine,
+        num_threads=8,
+        cache=bench.cache,
+        resilience_factory=_crash_factory(built),
+    )
+    faulted = supervised.run_system("ligra", "PR", default_partitions=32)
+    assert faulted == plain
+    assert len(built) == 1 and not built[0].fault_plan.pending()
+
+
+def test_process_wide_factory_is_the_default(bench):
+    from repro.bench.harness import set_default_resilience_factory
+
+    built = []
+    set_default_resilience_factory(_crash_factory(built))
+    try:
+        wb = Workbench(
+            edges=bench.edges,
+            machine=bench.machine,
+            num_threads=8,
+            cache=bench.cache,
+        )
+        assert wb.run_layout("PR", num_partitions=16, forced_layout="coo") > 0
+        assert len(built) == 1
+    finally:
+        set_default_resilience_factory(None)

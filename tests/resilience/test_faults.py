@@ -172,10 +172,50 @@ def test_spec_roundtrip():
     assert FaultPlan.from_spec(spec).to_spec() == spec
 
 
-@pytest.mark.parametrize("bad", ["nonsense", "worker_crash", "oom@x", "worker_crash@2:1"])
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "nonsense",
+        "worker_crash",
+        "oom@x",
+        "corrupt_checkpoint@2:1",  # storage faults take no partition
+        "stall@2",  # stalls are per-partition by definition
+        "partition@1",
+    ],
+)
 def test_bad_specs_rejected(bad):
     with pytest.raises(ValueError):
         FaultPlan.from_spec(bad)
+
+
+def test_bad_specs_raise_typed_validation_error():
+    with pytest.raises(ValidationError):
+        FaultPlan.from_spec("lost_replica@3:0")
+
+
+def test_partition_scoped_crash_and_oom_specs_are_legal():
+    spec = "worker_crash@2:1,oom@3:0,stall@4:2"
+    assert FaultPlan.from_spec(spec).to_spec() == spec
+
+
+def test_plan_validate_rejects_out_of_range_partition():
+    plan = FaultPlan.from_spec("partition@1:6")
+    assert plan.validate(num_partitions=8) is plan
+    with pytest.raises(ValidationError):
+        plan.validate(num_partitions=4)
+
+
+def test_plan_validate_rejects_mutated_unknown_kind():
+    plan = FaultPlan.from_spec("worker_crash@1")
+    plan.events[0].kind = "wroker_crash"  # mutation bypasses the constructor
+    with pytest.raises(ValidationError):
+        plan.validate()
+
+
+def test_engine_rejects_plan_targeting_missing_partition(small_rmat):
+    policy = ResiliencePolicy(fault_plan=FaultPlan.from_spec("partition@0:12"))
+    with pytest.raises(ValidationError):
+        _engine(small_rmat, policy, partitions=8)
 
 
 def test_plan_reset_rearms_events(small_rmat):

@@ -64,3 +64,79 @@ def test_all_experiments_registered():
 def test_bad_algorithm_rejected():
     with pytest.raises(SystemExit):
         main(["run", "DIJKSTRA"])
+
+
+# ----------------------------------------------------------------------
+# checkpoint stores, watchdog and the `checkpoints` maintenance command
+# ----------------------------------------------------------------------
+def _run_with_checkpoints(tmp_path, small_rmat, *extra):
+    path = tmp_path / "g.npz"
+    if not path.exists():
+        save_npz(path, small_rmat)
+    ckpt = tmp_path / "ckpts"
+    args = ["run", "PR", "--graph", str(path), "--partitions", "8",
+            "--checkpoint-dir", str(ckpt), *extra]
+    assert main(args) == 0
+    return ckpt
+
+
+@pytest.mark.parametrize("store", ["local", "sharded", "replicated"])
+def test_run_with_each_store_backend(tmp_path, small_rmat, store, capsys):
+    ckpt = _run_with_checkpoints(tmp_path, small_rmat, "--store", store)
+    assert ckpt.exists()
+    rc = main(["checkpoints", "ls", "--checkpoint-dir", str(ckpt),
+               "--store", store])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "PR" in out
+
+
+def test_run_with_watchdog_and_fault_plan(tmp_path, small_rmat, capsys):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    rc = main(["run", "PR", "--graph", str(path), "--partitions", "8",
+               "--watchdog", "--fault-plan", "stall@1:2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "watchdog tripped on partition 2" in out
+
+
+def test_checkpoint_keep_retention(tmp_path, small_rmat, capsys):
+    ckpt = _run_with_checkpoints(
+        tmp_path, small_rmat, "--store", "sharded", "--checkpoint-keep", "2"
+    )
+    capsys.readouterr()
+    assert main(["checkpoints", "ls", "--checkpoint-dir", str(ckpt),
+                 "--store", "sharded"]) == 0
+    # ten PR iterations checkpointed, but only the newest two survive
+    assert "[9, 10]" in capsys.readouterr().out
+
+
+def test_checkpoints_verify_flags_corruption(tmp_path, small_rmat, capsys):
+    from repro.resilience import CheckpointManager, make_store
+
+    ckpt = _run_with_checkpoints(tmp_path, small_rmat, "--store", "sharded")
+    assert main(["checkpoints", "verify", "--checkpoint-dir", str(ckpt),
+                 "--store", "sharded"]) == 0
+    mgr = CheckpointManager(store=make_store("sharded", ckpt))
+    name = mgr.names()[0]
+    mgr.store.corrupt(name, mgr.steps(name)[0])
+    assert main(["checkpoints", "verify", "--checkpoint-dir", str(ckpt),
+                 "--store", "sharded"]) == 1
+    assert "CORRUPT" in capsys.readouterr().out
+
+
+def test_checkpoints_prune(tmp_path, small_rmat, capsys):
+    ckpt = _run_with_checkpoints(tmp_path, small_rmat)
+    assert main(["checkpoints", "prune", "--checkpoint-dir", str(ckpt),
+                 "--keep", "1"]) == 0
+    capsys.readouterr()
+    assert main(["checkpoints", "ls", "--checkpoint-dir", str(ckpt)]) == 0
+    assert "[10]" in capsys.readouterr().out
+
+
+def test_resume_flag_requires_checkpoint_dir(tmp_path, small_rmat, capsys):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    assert main(["run", "PR", "--graph", str(path), "--resume"]) != 0
+    assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
