@@ -23,6 +23,13 @@ Subcommands
         python -m repro checkpoints verify --checkpoint-dir ckpts --store sharded
         python -m repro checkpoints prune --checkpoint-dir ckpts --keep 3
 
+``memsim``
+    Sweep the exact cache simulator over a dataset's partitioned trace
+    and price the measured misses with the cost model::
+
+        python -m repro memsim --dataset twitter --partitions 24 \
+            --sets 64,256 --assoc 4,8,16
+
 ``info``
     Show the dataset registry and algorithm table.
 
@@ -123,6 +130,20 @@ def _build_parser() -> argparse.ArgumentParser:
     ckpt.add_argument("--name", help="restrict to one run name")
     ckpt.add_argument("--keep", type=int, default=1,
                       help="generations per run to keep when pruning (default 1)")
+
+    memsim = sub.add_parser(
+        "memsim", help="sweep the exact cache simulator over a dataset trace"
+    )
+    memsim.add_argument("--dataset", default="twitter", choices=datasets.names())
+    memsim.add_argument("--scale", type=float, default=0.5)
+    memsim.add_argument("--partitions", type=int, default=24)
+    memsim.add_argument("--max-accesses", type=int, default=1_000_000,
+                        help="truncate the trace to this many accesses (default 1M)")
+    memsim.add_argument("--line-bytes", type=int, default=64)
+    memsim.add_argument("--sets", default="64,256,1024",
+                        help="comma-separated cache set counts to sweep")
+    memsim.add_argument("--assoc", default="4,8,16",
+                        help="comma-separated associativities to sweep")
 
     sub.add_parser("info", help="list datasets and algorithms")
 
@@ -300,6 +321,73 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if total else 0
 
 
+def _parse_int_list(text: str, what: str) -> list[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise ValidationError(f"--{what} must be comma-separated integers") from exc
+    if not values:
+        raise ValidationError(f"--{what} must name at least one value")
+    return values
+
+
+def _cmd_memsim(args: argparse.Namespace) -> int:
+    """Exact cache-simulation sweep over a partitioned dataset trace."""
+    from .layout.coo import PartitionedCOO
+    from .memsim import CacheConfig, SimulationCache, next_array_trace
+    from .partition.by_destination import partition_by_destination
+
+    sets = _parse_int_list(args.sets, "sets")
+    assocs = _parse_int_list(args.assoc, "assoc")
+    if args.max_accesses < 0:
+        raise ValidationError("--max-accesses must be >= 0")
+    edges = datasets.load(args.dataset, args.scale)
+    vp = partition_by_destination(
+        edges, min(args.partitions, max(edges.num_vertices, 1))
+    )
+    coo = PartitionedCOO.build(edges, vp, edge_order="source")
+    trace = next_array_trace(
+        coo, line_bytes=args.line_bytes, max_accesses=args.max_accesses
+    )
+    print(
+        f"{args.dataset}@{args.scale}, {args.partitions} partitions: "
+        f"{trace.size} accesses ({args.line_bytes} B lines)"
+    )
+
+    machine = MachineSpec().scaled_for(edges.num_vertices)
+    model = CostModel(machine)
+    sim = SimulationCache()
+    configs = [
+        CacheConfig(
+            capacity_bytes=s * a * args.line_bytes,
+            line_bytes=args.line_bytes,
+            associativity=a,
+        )
+        for s in sets
+        for a in assocs
+    ]
+    t0 = time.perf_counter()
+    results = sim.sweep(trace, configs)
+    sweep_s = time.perf_counter() - t0
+    print(f"{'sets':>8} {'ways':>5} {'capacity':>10} {'misses':>10} "
+          f"{'miss%':>7} {'mem-ns':>12}")
+    for cfg in configs:
+        res = results[cfg]
+        mem_ns = model.measured_access_time_ns(res, write=True)
+        print(f"{cfg.num_sets:>8} {cfg.associativity:>5} "
+              f"{cfg.capacity_bytes:>10} {res.misses:>10} "
+              f"{res.miss_ratio * 100.0:>6.2f} {mem_ns:>12.0f}")
+
+    h = sim.histogram(trace)
+    print(f"reuse distances: max {h.max_distance()}, "
+          f"p50 {h.percentile(50):.0f}, p90 {h.percentile(90):.0f}, "
+          f"p99 {h.percentile(99):.0f}, cold {h.cold_accesses}")
+    print(f"sweep: {len(configs)} configs in {sweep_s:.3f}s "
+          f"({len({c.num_sets for c in configs}) + 1} grouped passes, "
+          f"cache hits {sim.hits})")
+    return 0
+
+
 def _cmd_info() -> int:
     print(figures.table1_graphs(scale=0.25).render())
     print()
@@ -317,6 +405,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "checkpoints":
             return _cmd_checkpoints(args)
+        if args.command == "memsim":
+            return _cmd_memsim(args)
         if args.command == "info":
             return _cmd_info()
         if args.command == "lint":

@@ -22,8 +22,9 @@ from ..graph import datasets
 from ..graph.properties import graph_stats
 from ..layout.coo import PartitionedCOO
 from ..machine.spec import MachineSpec
-from ..memsim.cache import llc_config, simulate_cache
-from ..memsim.reuse import ReuseHistogram, reuse_histogram
+from ..memsim.cache import llc_config
+from ..memsim.reuse import ReuseHistogram
+from ..memsim.simcache import SimulationCache
 from ..memsim.trace import next_array_trace, partition_edge_traces
 from ..partition.by_destination import partition_by_destination
 from ..partition.replication import replication_factor
@@ -146,18 +147,19 @@ def fig2_reuse_distance(
     iterations with a destination-partitioned, CSR-ordered layout; we
     generate exactly that address stream per partition count and compute
     exact LRU stack distances.  Long traces are truncated to
-    ``max_accesses`` (a contiguous prefix) to bound the O(N log N)
-    analysis.
+    ``max_accesses`` (a contiguous prefix, generated without
+    materialising the cut tail) to bound the analysis.
     """
     cache = cache or StoreCache()
     edges = cache.graph(dataset, scale=scale)
+    sim = SimulationCache()
     hists: dict[int, ReuseHistogram] = {}
     rows = []
     for p in partition_counts:
         vp = partition_by_destination(edges, p)
         coo = PartitionedCOO.build(edges, vp, edge_order="source")
-        trace = next_array_trace(coo)[:max_accesses]
-        h = reuse_histogram(trace)
+        trace = next_array_trace(coo, max_accesses=max_accesses)
+        h = sim.histogram(trace)
         hists[p] = h
         rows.append(
             [
@@ -482,7 +484,9 @@ def fig8_mpki(
     LLC; misses are summed and divided by the modelled instruction count.
     PR/BF use dense traversals; BFS uses its active-edge trace
     (vertex-oriented: partitioning does not reduce its misses, as the
-    paper observes).
+    paper observes).  A :class:`SimulationCache` deduplicates the replays
+    content-addressably — PR and BF stream byte-identical traces, so the
+    second algorithm's simulation is a lookup.
 
     Two documented deviations from the paper's exact setup (see
     EXPERIMENTS.md): the default trace order is CSR (source) rather than
@@ -492,6 +496,10 @@ def fig8_mpki(
     stand-in's lower |E|/|V| makes source-replication cold misses
     dominate ~20x sooner than at the paper's scale."""
     cache = cache or StoreCache()
+    # bound must cover one algorithm's per-partition traces at the largest
+    # partition count, or entries are evicted before the next algorithm
+    # re-reads them.
+    sim = SimulationCache(max_entries=2 * max(partition_counts, default=1) + 8)
     out: dict[str, Experiment] = {}
     for name in graphs:
         edges = cache.graph(name, scale=scale)
@@ -520,7 +528,7 @@ def fig8_mpki(
                 else:
                     traces = partition_edge_traces(coo)
                 for tr in traces:
-                    res = simulate_cache(tr, cfg)
+                    res = sim.simulate(tr, cfg)
                     misses += res.misses
                     accesses += res.accesses
                 instructions = (accesses // 2) * INSTRUCTIONS_PER_EDGE

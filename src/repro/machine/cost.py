@@ -215,6 +215,20 @@ class CostModel:
         remote = remote_access_fraction(self.numa_aware, self.machine)
         return self.params.t_mem_ns + remote * self.params.t_remote_ns
 
+    def measured_access_time_ns(self, result, *, write: bool = False) -> float:
+        """Memory time of a *measured* cache replay, in nanoseconds.
+
+        Prices a :class:`repro.memsim.cache.CacheResult` — exact
+        per-access hit/miss counts from the trace simulator — with this
+        model's latency constants, instead of the analytic miss
+        probability of :meth:`_random_access_cost`.  Used by the ``memsim``
+        CLI to turn simulated miss counts into simulated memory time.
+        """
+        miss_ns = self._miss_time_ns() * (
+            self.params.write_miss_mult if write else 1.0
+        )
+        return result.misses * miss_ns + result.hits * self.params.t_llc_hit_ns
+
     def _random_access_cost(
         self,
         accesses: np.ndarray | float,

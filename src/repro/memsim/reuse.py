@@ -8,12 +8,18 @@ destination contracts the range of destination addresses per partition,
 shortening stack distances.
 
 A fully-associative LRU cache of capacity ``C`` lines misses exactly on
-accesses with stack distance ≥ ``C`` (plus cold accesses), so one
+accesses with stack distance >= ``C`` (plus cold accesses), so one
 histogram answers *every* capacity at once — used by the MPKI sweeps.
 
-The analyser implements the Bennett–Kruskal algorithm over a Fenwick tree:
-O(N log N), processing accesses in order while maintaining a 0/1 flag per
-position marking the most recent access to each address.
+Two implementations compute the same distances:
+
+* :func:`stack_distances` — the production path, the batched offline
+  kernel of :mod:`repro.memsim.kernel` (prev-occurrence indices from one
+  stable sort, then exact distinct-counts-in-range via block-decomposed
+  dominance counting);
+* :func:`reference_stack_distances` — the original scalar Bennett–Kruskal
+  algorithm over a Fenwick tree, O(N log N) with one Python iteration per
+  access, kept verbatim as the differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -23,8 +29,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from .fenwick import Fenwick
+from .kernel import stack_distance_kernel
 
-__all__ = ["stack_distances", "ReuseHistogram", "reuse_histogram"]
+__all__ = [
+    "stack_distances",
+    "reference_stack_distances",
+    "ReuseHistogram",
+    "reuse_histogram",
+    "histogram_of_distances",
+    "COLD",
+]
 
 #: stack distance reported for cold (first) accesses.
 COLD = -1
@@ -34,7 +48,17 @@ def stack_distances(trace: np.ndarray) -> np.ndarray:
     """Exact LRU stack distance of every access in ``trace``.
 
     Returns an ``int64`` array; cold accesses get :data:`COLD` (-1).
-    Addresses may be arbitrary integers.
+    Addresses may be arbitrary integers.  Vectorised; bit-identical to
+    :func:`reference_stack_distances`.
+    """
+    return stack_distance_kernel(trace)
+
+
+def reference_stack_distances(trace: np.ndarray) -> np.ndarray:
+    """Scalar Bennett–Kruskal stack distances (Fenwick tree, per-access loop).
+
+    The pre-vectorisation implementation, retained as the oracle for the
+    differential property tests of the batched kernel.
     """
     trace = np.asarray(trace)
     n = int(trace.size)
@@ -98,9 +122,8 @@ class ReuseHistogram:
         return float(self.distances[idx])
 
 
-def reuse_histogram(trace: np.ndarray) -> ReuseHistogram:
-    """Stack-distance histogram of ``trace``."""
-    d = stack_distances(trace)
+def histogram_of_distances(d: np.ndarray) -> ReuseHistogram:
+    """Build a :class:`ReuseHistogram` from precomputed stack distances."""
     cold = int(np.count_nonzero(d == COLD))
     finite = d[d != COLD]
     if finite.size:
@@ -114,3 +137,8 @@ def reuse_histogram(trace: np.ndarray) -> ReuseHistogram:
         cold_accesses=cold,
         total_accesses=int(d.size),
     )
+
+
+def reuse_histogram(trace: np.ndarray) -> ReuseHistogram:
+    """Stack-distance histogram of ``trace``."""
+    return histogram_of_distances(stack_distances(trace))

@@ -1,0 +1,141 @@
+"""Content-addressed memoisation of memory-simulation results.
+
+Benchmark sweeps replay the *same* trace under many cache geometries —
+and different algorithms (PageRank and Bellman-Ford both stream the
+partitioned edge list) often generate byte-identical traces.  Because a
+stack-distance profile at one set count answers every associativity and
+capacity sharing it (Mattson inclusion), the unit of caching is the
+``(trace fingerprint, num_sets)`` pair, not the full configuration: a
+:class:`SimulationCache` computes each grouped stack-distance pass at
+most once and answers every config from the cached profile.
+
+The fingerprint is a blake2b digest over the trace's dtype, shape, and
+raw bytes (hashed in bounded chunks, so no full-trace copy is ever
+materialised).  Entries are kept in a bounded LRU.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from .cache import (
+    CacheConfig,
+    CacheResult,
+    SetDistanceProfile,
+    set_distance_profile,
+)
+from .reuse import ReuseHistogram
+
+__all__ = ["trace_fingerprint", "SimulationCache"]
+
+
+def trace_fingerprint(trace: np.ndarray, *, chunk_bytes: int = 1 << 22) -> str:
+    """Content hash of ``trace`` (dtype + shape + raw bytes, blake2b).
+
+    The bytes are fed to the hash in chunks of at most ``chunk_bytes`` so
+    non-contiguous inputs only materialise bounded copies.
+    """
+    trace = np.asarray(trace)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(trace.dtype).encode())
+    h.update(str(trace.shape).encode())
+    flat = trace.reshape(-1)
+    step = max(1, chunk_bytes // max(1, trace.itemsize))
+    for start in range(0, flat.size, step):
+        h.update(np.ascontiguousarray(flat[start : start + step]).tobytes())
+    return h.hexdigest()
+
+
+class SimulationCache:
+    """Bounded LRU cache of simulation profiles keyed by trace content.
+
+    One instance shared across a sweep (or across algorithms whose traces
+    may coincide) collapses repeated work: each distinct
+    ``(fingerprint, num_sets)`` pair costs one grouped stack-distance
+    pass, after which any :meth:`simulate`, :meth:`sweep`, or
+    :meth:`histogram` call over the same content is a dictionary lookup.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, int], SetDistanceProfile] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _lookup(self, key: tuple[str, int]):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def _store(self, key: tuple[str, int], entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def histogram(
+        self, trace: np.ndarray, *, fingerprint: str | None = None
+    ) -> ReuseHistogram:
+        """Fully-associative stack-distance histogram of ``trace``.
+
+        A one-set profile *is* the plain stack-distance histogram, so this
+        shares the cached entry with every ``num_sets == 1`` configuration
+        — one pass serves both the fig2-style histogram and the
+        capacity sweep.
+        """
+        p = self.profile(trace, 1, fingerprint=fingerprint)
+        return ReuseHistogram(
+            distances=p.distances,
+            counts=p.counts,
+            cold_accesses=p.cold_accesses,
+            total_accesses=p.total_accesses,
+        )
+
+    def profile(
+        self, trace: np.ndarray, num_sets: int, *, fingerprint: str | None = None
+    ) -> SetDistanceProfile:
+        """Per-set stack-distance profile of ``trace`` at ``num_sets``."""
+        if num_sets < 1:
+            raise ValueError("num_sets must be >= 1")
+        fp = fingerprint if fingerprint is not None else trace_fingerprint(trace)
+        key = (fp, num_sets)
+        entry = self._lookup(key)
+        if entry is None:
+            entry = set_distance_profile(trace, num_sets)
+            self._store(key, entry)
+        return entry
+
+    def simulate(
+        self, trace: np.ndarray, config: CacheConfig, *, fingerprint: str | None = None
+    ) -> CacheResult:
+        """Miss count of ``trace`` under ``config`` (cached profile lookup)."""
+        profile = self.profile(trace, config.num_sets, fingerprint=fingerprint)
+        return profile.result_for(config.associativity)
+
+    def sweep(
+        self,
+        trace: np.ndarray,
+        configs,
+        *,
+        fingerprint: str | None = None,
+    ) -> dict[CacheConfig, CacheResult]:
+        """Results for every config; one profile per distinct set count."""
+        fp = fingerprint if fingerprint is not None else trace_fingerprint(trace)
+        return {
+            config: self.simulate(trace, config, fingerprint=fp)
+            for config in configs
+        }

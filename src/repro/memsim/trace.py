@@ -20,10 +20,14 @@ from ..layout.pcsr import PartitionedCSR
 __all__ = [
     "vertex_lines",
     "next_array_trace",
+    "iter_next_array_chunks",
     "partition_next_traces",
     "partition_edge_traces",
     "interleave_traces",
 ]
+
+#: edges consumed per chunk by the chunked trace generator.
+DEFAULT_CHUNK_EDGES = 1 << 20
 
 #: bytes of per-vertex state behind each access (attribute value).
 BYTES_PER_VALUE = 8
@@ -44,17 +48,59 @@ def next_array_trace(
     *,
     active: np.ndarray | None = None,
     line_bytes: int = 64,
+    max_accesses: int | None = None,
 ) -> np.ndarray:
     """Next-array (destination) access stream of a full forward traversal.
 
     Partitions are traversed in order, edges in the layout's storage order
     — exactly the stream whose reuse distances Figure 2 plots.  ``active``
     optionally masks to edges with an active source (sparse frontiers).
+    ``max_accesses`` truncates the stream (byte-identical to slicing the
+    full trace) without materialising the part past the cut: generation
+    stops as soon as enough accesses have accumulated.
     """
-    dst = coo.dst
-    if active is not None:
-        dst = dst[np.asarray(active, dtype=bool)[coo.src]]
-    return vertex_lines(dst, line_bytes=line_bytes)
+    if max_accesses is None:
+        dst = coo.dst
+        if active is not None:
+            dst = dst[np.asarray(active, dtype=bool)[coo.src]]
+        return vertex_lines(dst, line_bytes=line_bytes)
+    if max_accesses < 0:
+        raise ValueError("max_accesses must be >= 0")
+    parts: list[np.ndarray] = []
+    have = 0
+    for chunk in iter_next_array_chunks(coo, active=active, line_bytes=line_bytes):
+        parts.append(chunk)
+        have += chunk.size
+        if have >= max_accesses:
+            break
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)[:max_accesses]
+
+
+def iter_next_array_chunks(
+    coo: PartitionedCOO,
+    *,
+    active: np.ndarray | None = None,
+    line_bytes: int = 64,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+):
+    """Yield the next-array stream in bounded chunks.
+
+    Concatenating the yielded chunks reproduces :func:`next_array_trace`
+    byte-for-byte; each chunk consumes at most ``chunk_edges`` edges, so
+    the frontier mask and line-address intermediates stay bounded.
+    """
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+    mask = np.asarray(active, dtype=bool) if active is not None else None
+    num_edges = coo.dst.size
+    for start in range(0, num_edges, chunk_edges):
+        stop = min(start + chunk_edges, num_edges)
+        dst = coo.dst[start:stop]
+        if mask is not None:
+            dst = dst[mask[coo.src[start:stop]]]
+        yield vertex_lines(dst, line_bytes=line_bytes)
 
 
 def partition_next_traces(

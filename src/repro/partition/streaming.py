@@ -89,6 +89,10 @@ def edge_cut_fraction(edges: EdgeList, assignment: StreamingAssignment) -> float
     return float(np.count_nonzero(a[edges.src] != a[edges.dst])) / edges.num_edges
 
 
+#: vertices gathered per chunk by the vectorised greedy stream.
+_STREAM_CHUNK = 1024
+
+
 def _greedy_stream(
     edges: EdgeList,
     num_partitions: int,
@@ -100,26 +104,68 @@ def _greedy_stream(
 
     ``score_fn(neighbour_counts, sizes)`` returns per-partition scores;
     the vertex goes to the argmax (ties to the smaller partition).
+
+    The placement decisions are inherently sequential (each vertex sees
+    its predecessors' assignments), but the expensive part — gathering
+    neighbour lists and counting already-placed neighbours per partition
+    — is batched: chunks of the stream compute a base count matrix from
+    the assignment state at chunk entry in one vectorised pass, and the
+    per-vertex loop only patches in the (rare) neighbours placed earlier
+    *within* the same chunk.  Counts are integer-valued float64 sums, so
+    the decisions are bit-identical to the per-vertex formulation (kept
+    as ``_reference_greedy_stream`` in the test suite).
     """
     if num_partitions < 1:
         raise PartitionError("num_partitions must be >= 1")
     n = edges.num_vertices
-    csr = build_csr(edges.symmetrized()) if n else None
     assignment = np.full(n, -1, dtype=np.int64)
     sizes = np.zeros(num_partitions, dtype=np.float64)
-    stream = order if order is not None else np.arange(n)
-    for v in stream:
-        v = int(v)
-        nbrs = csr.neighbors_of(v)
-        placed = assignment[nbrs]
-        placed = placed[placed >= 0]
-        counts = np.bincount(placed, minlength=num_partitions).astype(np.float64)
-        scores = score_fn(counts, sizes)
-        # argmax with ties broken toward the emptier partition.
-        best = np.flatnonzero(scores == scores.max())
-        target = int(best[np.argmin(sizes[best])])
-        assignment[v] = target
-        sizes[target] += 1.0
+    if n == 0:
+        return StreamingAssignment(num_partitions, assignment.astype(VID_DTYPE))
+    csr = build_csr(edges.symmetrized())
+    indptr = csr.index.astype(np.int64)
+    neighbors = csr.neighbors
+    stream = np.asarray(order if order is not None else np.arange(n), dtype=np.int64)
+    pos_in_chunk = np.full(n, -1, dtype=np.int64)
+    for c0 in range(0, stream.size, _STREAM_CHUNK):
+        chunk = stream[c0 : c0 + _STREAM_CHUNK]
+        b = chunk.size
+        starts = indptr[chunk]
+        deg = indptr[chunk + 1] - starts
+        total = int(deg.sum())
+        # Flat gather of every chunk vertex's neighbour list.
+        local_off = np.cumsum(deg) - deg
+        idx = np.arange(total, dtype=np.int64)
+        idx += np.repeat(starts - local_off, deg)
+        nb = neighbors[idx].astype(np.int64)
+        owner = np.repeat(np.arange(b, dtype=np.int64), deg)
+        # Base counts from the assignment state at chunk entry.
+        placed = assignment[nb]
+        valid = placed >= 0
+        base = np.zeros((b, num_partitions), dtype=np.float64)
+        np.add.at(base, (owner[valid], placed[valid]), 1.0)
+        # Neighbour references into this very chunk need per-vertex
+        # patching: only those placed before the owner count.
+        pos_in_chunk[chunk] = np.arange(b, dtype=np.int64)
+        nb_pos = pos_in_chunk[nb]
+        intra = nb_pos >= 0
+        intra_owner = owner[intra]  # nondecreasing (owner-major gather)
+        intra_nb = nb[intra]
+        intra_pos = nb_pos[intra]
+        row_lo = np.searchsorted(intra_owner, np.arange(b), side="left")
+        row_hi = np.searchsorted(intra_owner, np.arange(b), side="right")
+        for j in range(b):
+            counts = base[j]
+            for t in range(row_lo[j], row_hi[j]):
+                if intra_pos[t] < j:
+                    counts[assignment[intra_nb[t]]] += 1.0
+            scores = score_fn(counts, sizes)
+            # argmax with ties broken toward the emptier partition.
+            best = np.flatnonzero(scores == scores.max())
+            target = int(best[np.argmin(sizes[best])])
+            assignment[chunk[j]] = target
+            sizes[target] += 1.0
+        pos_in_chunk[chunk] = -1
     return StreamingAssignment(num_partitions, assignment.astype(VID_DTYPE))
 
 

@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.machine.spec import MachineSpec
-from repro.memsim.cache import CacheConfig, CacheResult, llc_config, simulate_cache
+from repro.memsim.cache import (
+    CacheConfig,
+    CacheResult,
+    llc_config,
+    reference_simulate_cache,
+    set_distance_profile,
+    simulate_cache,
+    sweep_cache_configs,
+)
 from repro.memsim.reuse import reuse_histogram
 
 
@@ -68,6 +76,15 @@ def test_config_validation():
         CacheConfig(capacity_bytes=1024, associativity=0)
 
 
+def test_config_rejects_capacity_below_one_set():
+    # Previously a dead branch: such a config would silently simulate a
+    # full set (a *larger* cache than requested).
+    with pytest.raises(ValueError, match="full set"):
+        CacheConfig(capacity_bytes=64 * 8, line_bytes=64, associativity=16)
+    # exactly one set is the smallest accepted geometry.
+    assert CacheConfig(64 * 16, line_bytes=64, associativity=16).num_sets == 1
+
+
 def test_num_sets():
     cfg = CacheConfig(capacity_bytes=64 * 32, line_bytes=64, associativity=8)
     assert cfg.num_sets == 4
@@ -80,3 +97,36 @@ def test_llc_config_sharing():
     assert whole.capacity_bytes == m.llc_bytes_per_socket
     assert shared.capacity_bytes == m.llc_bytes_per_socket // 12
     assert shared.line_bytes == m.cache_line_bytes
+
+
+def test_matches_reference_replay(rng):
+    t = rng.integers(0, 300, size=4000)
+    for lines, ways in ((4, 1), (16, 4), (64, 16), (32, 32)):
+        cfg = CacheConfig(capacity_bytes=64 * lines, associativity=ways)
+        assert simulate_cache(t, cfg) == reference_simulate_cache(t, cfg)
+
+
+def test_set_distance_profile_answers_all_ways(rng):
+    t = rng.integers(0, 150, size=3000)
+    profile = set_distance_profile(t, num_sets=8)
+    assert profile.total_accesses == t.size
+    for ways in (1, 2, 4, 8, 16):
+        cfg = CacheConfig(
+            capacity_bytes=64 * 8 * ways, line_bytes=64, associativity=ways
+        )
+        assert cfg.num_sets == 8
+        assert profile.result_for(ways) == reference_simulate_cache(t, cfg)
+    with pytest.raises(ValueError):
+        profile.misses_for_ways(0)
+
+
+def test_sweep_groups_by_set_count(rng):
+    t = rng.integers(0, 200, size=2500)
+    configs = [
+        CacheConfig(capacity_bytes=64 * lines, associativity=ways)
+        for lines, ways in ((8, 2), (16, 4), (32, 8), (64, 16), (16, 16))
+    ]
+    swept = sweep_cache_configs(t, configs)
+    assert set(swept) == set(configs)
+    for cfg in configs:
+        assert swept[cfg] == reference_simulate_cache(t, cfg)

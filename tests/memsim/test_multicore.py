@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.memsim.cache import CacheConfig, simulate_cache
-from repro.memsim.multicore import simulate_shared_cache
+from repro.memsim.multicore import (
+    interleave_round_robin,
+    reference_simulate_shared_cache,
+    simulate_shared_cache,
+)
 
 
 def cfg(lines, ways=None):
@@ -75,3 +79,29 @@ def test_partitioning_reduces_shared_cache_contention(small_rmat):
         return simulate_shared_cache(streams, cfg(32), block=8).miss_ratio
 
     assert misses_with(16) < misses_with(4)
+
+
+def test_matches_reference_scheduler_walk(rng):
+    for trial in range(5):
+        streams = [
+            rng.integers(0, 60, size=int(rng.integers(0, 300))) for _ in range(4)
+        ]
+        for block in (1, 5, 64):
+            r = simulate_shared_cache(streams, cfg(16, 4), block=block)
+            ref = reference_simulate_shared_cache(streams, cfg(16, 4), block=block)
+            assert r == ref
+
+
+def test_interleave_reproduces_rotation():
+    a = np.arange(5)
+    b = np.arange(100, 107)
+    merged, sids = interleave_round_robin([a, b], block=2, tag_bits=40)
+    # turns: a[0:2] b[0:2] | a[2:4] b[2:4] | a[4] b[4:6] | b[6]
+    assert sids.tolist() == [0, 0, 1, 1, 0, 0, 1, 1, 0, 1, 1, 1]
+    assert (merged[sids == 0] & ((1 << 40) - 1)).tolist() == a.tolist()
+    assert (merged[sids == 1] & ((1 << 40) - 1)).tolist() == b.tolist()
+
+
+def test_block_validation():
+    with pytest.raises(ValueError):
+        simulate_shared_cache([np.arange(4)], cfg(8), block=0)

@@ -101,3 +101,36 @@ def test_partitioned_trace_shortens_reuse(small_rmat):
     h1, h8 = reuse_histogram(t1), reuse_histogram(t8)
     assert h8.max_distance() <= h1.max_distance()
     assert h8.percentile(99) <= h1.percentile(99)
+
+
+def test_max_accesses_matches_full_slice(coo, small_rmat):
+    full = next_array_trace(coo)
+    for m in (0, 1, 37, full.size, full.size + 100):
+        assert np.array_equal(next_array_trace(coo, max_accesses=m), full[:m])
+    with pytest.raises(ValueError):
+        next_array_trace(coo, max_accesses=-1)
+
+
+def test_max_accesses_with_active_mask(coo, small_rmat):
+    rng = np.random.default_rng(11)
+    active = rng.random(small_rmat.num_vertices) < 0.4
+    full = next_array_trace(coo, active=active)
+    got = next_array_trace(coo, active=active, max_accesses=50)
+    assert np.array_equal(got, full[:50])
+
+
+def test_chunked_generation_concatenates_to_full(coo, small_rmat):
+    from repro.memsim.trace import iter_next_array_chunks
+
+    full = next_array_trace(coo)
+    for chunk_edges in (1, 13, 10**6):
+        chunks = list(iter_next_array_chunks(coo, chunk_edges=chunk_edges))
+        assert np.array_equal(np.concatenate(chunks), full)
+        assert all(c.size <= chunk_edges for c in chunks)
+    rng = np.random.default_rng(5)
+    active = rng.random(small_rmat.num_vertices) < 0.5
+    masked = next_array_trace(coo, active=active)
+    chunks = list(iter_next_array_chunks(coo, active=active, chunk_edges=29))
+    assert np.array_equal(np.concatenate(chunks), masked)
+    with pytest.raises(ValueError):
+        next(iter_next_array_chunks(coo, chunk_edges=0))

@@ -89,3 +89,66 @@ def test_empty_graph():
     g = EdgeList(0, [], [])
     a = ldg_partition(g, 2)
     assert a.num_vertices == 0
+
+
+def _reference_greedy_stream(edges, num_partitions, score_fn, *, order=None):
+    """The pre-vectorisation per-vertex greedy loop, kept as the oracle."""
+    from repro._types import VID_DTYPE
+    from repro.graph.csr import build_csr
+
+    n = edges.num_vertices
+    csr = build_csr(edges.symmetrized()) if n else None
+    assignment = np.full(n, -1, dtype=np.int64)
+    sizes = np.zeros(num_partitions, dtype=np.float64)
+    stream = order if order is not None else np.arange(n)
+    for v in stream:
+        v = int(v)
+        nbrs = csr.neighbors_of(v)
+        placed = assignment[nbrs]
+        placed = placed[placed >= 0]
+        counts = np.bincount(placed, minlength=num_partitions).astype(np.float64)
+        scores = score_fn(counts, sizes)
+        best = np.flatnonzero(scores == scores.max())
+        target = int(best[np.argmin(sizes[best])])
+        assignment[v] = target
+        sizes[target] += 1.0
+    return assignment.astype(VID_DTYPE)
+
+
+@pytest.mark.parametrize("chunk", [16, 1024])
+@pytest.mark.parametrize("use_order", [False, True])
+def test_chunked_greedy_bit_identical_to_reference(small_rmat, chunk, use_order):
+    """The chunked numpy stream makes exactly the per-vertex decisions."""
+    from repro.partition import streaming as streaming_mod
+
+    n = small_rmat.num_vertices
+    rng = np.random.default_rng(7)
+    order = rng.permutation(n) if use_order else None
+    k = 5
+    capacity = max(1.1 * n / k, 1.0)
+
+    def ldg_score(counts, sizes):
+        return counts * np.maximum(1.0 - sizes / capacity, 0.0)
+
+    ref = _reference_greedy_stream(small_rmat, k, ldg_score, order=order)
+    old_chunk = streaming_mod._STREAM_CHUNK
+    try:
+        streaming_mod._STREAM_CHUNK = chunk
+        got = ldg_partition(small_rmat, k, order=order).assignment
+    finally:
+        streaming_mod._STREAM_CHUNK = old_chunk
+    assert np.array_equal(got, ref)
+
+
+def test_fennel_bit_identical_to_reference(small_rmat):
+    k = 4
+    n = max(small_rmat.num_vertices, 1)
+    m = max(small_rmat.num_edges, 1)
+    alpha = m * k**0.5 / n**1.5
+
+    def fennel_score(counts, sizes):
+        return counts - alpha * 1.5 * np.power(sizes, 0.5)
+
+    ref = _reference_greedy_stream(small_rmat, k, fennel_score)
+    got = fennel_partition(small_rmat, k).assignment
+    assert np.array_equal(got, ref)
