@@ -17,11 +17,18 @@ Subcommands
 
 ``checkpoints``
     Maintain a checkpoint directory: list runs/generations, verify their
-    integrity, prune old generations::
+    integrity, prune old generations, drain a remote store's local spill
+    journal into the (healed) remote::
 
         python -m repro checkpoints ls --checkpoint-dir ckpts
         python -m repro checkpoints verify --checkpoint-dir ckpts --store sharded
         python -m repro checkpoints prune --checkpoint-dir ckpts --keep 3
+        python -m repro checkpoints sync --checkpoint-dir ckpts --store remote:seed=7
+
+    ``--store`` takes a spec: a bare kind (``local``, ``sharded``,
+    ``replicated``, ``remote``) optionally followed by colon-separated
+    ``key=value`` options, e.g.
+    ``remote:seed=7:deadline=10:faults=net_timeout@0+net_reset@3``.
 
 ``memsim``
     Sweep the exact cache simulator over a dataset's partitioned trace
@@ -97,8 +104,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="resume from the newest valid checkpoint in --checkpoint-dir")
     run.add_argument("--checkpoint-every", type=int, default=1,
                      help="checkpoint every N iterations (default 1)")
-    run.add_argument("--store", default="local", choices=("local", "sharded", "replicated"),
-                     help="checkpoint store backend (default local)")
+    run.add_argument("--store", default="local",
+                     help="checkpoint store spec: local | sharded | replicated "
+                          "| remote[:key=value...] (default local)")
     run.add_argument("--replicas", type=int, default=2,
                      help="replica count for --store replicated (default 2)")
     run.add_argument("--checkpoint-keep", type=int, default=None, metavar="N",
@@ -119,12 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", type=float, default=None)
 
     ckpt = sub.add_parser("checkpoints", help="maintain a checkpoint directory")
-    ckpt.add_argument("action", choices=("ls", "verify", "prune"))
+    ckpt.add_argument("action", choices=("ls", "verify", "prune", "sync"))
     ckpt.add_argument("--checkpoint-dir", required=True,
                       help="the directory holding the checkpoints")
     ckpt.add_argument("--store", default="local",
-                      choices=("local", "sharded", "replicated"),
-                      help="store backend the directory was written with")
+                      help="store spec the directory was written with "
+                           "(kind[:key=value...], default local)")
     ckpt.add_argument("--replicas", type=int, default=2,
                       help="replica count for --store replicated (default 2)")
     ckpt.add_argument("--name", help="restrict to one run name")
@@ -211,7 +219,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             manager = CheckpointManager(
                 args.checkpoint_dir,
                 store=make_store(
-                    args.store, args.checkpoint_dir, replicas=args.replicas
+                    args.store,
+                    args.checkpoint_dir,
+                    replicas=args.replicas,
+                    fault_plan=resilience.fault_plan if resilience else None,
                 ),
                 fault_plan=resilience.fault_plan if resilience else None,
                 keep_last=args.checkpoint_keep,
@@ -229,6 +240,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     run_s = time.perf_counter() - t0
     for line in engine.resilience_log:
         print(f"resilience: {line}")
+    if session is not None:
+        store_backend = session.manager.store
+        for line in getattr(store_backend, "events", []):
+            print(f"remote: {line}")
+        pending = getattr(store_backend, "pending_spill", lambda: [])()
+        if pending:
+            print(f"remote: {len(pending)} generation(s) still in the local spill "
+                  f"journal; run 'checkpoints sync' once the remote heals")
 
     from .bench.harness import Workbench
 
@@ -255,6 +274,21 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
         args.checkpoint_dir,
         store=make_store(args.store, args.checkpoint_dir, replicas=args.replicas),
     )
+
+    if args.action == "sync":
+        store = manager.store
+        if not hasattr(store, "sync"):
+            raise ValidationError(
+                f"'checkpoints sync' needs a remote store, got --store {args.store!r}"
+            )
+        outcomes = store.sync()
+        for outcome in outcomes:
+            print(f"sync: {outcome.render()}")
+        deferred = [o for o in outcomes if o.action in ("deferred", "corrupt-spill")]
+        print(f"sync: {len(outcomes) - len(deferred)} applied, "
+              f"{len(deferred)} still pending")
+        return 1 if deferred else 0
+
     names = [args.name] if args.name else manager.names()
     if not names:
         print(f"no checkpoints under {args.checkpoint_dir} ({args.store} store)")

@@ -8,9 +8,18 @@ journal record format, the fault-plan schema, the watchdog escalation
 ladder and the degradation ladder.
 """
 
+from .backoff import BackoffSchedule
 from .checkpoint import Checkpointable, CheckpointManager, CheckpointSession
-from .faults import FAULT_KINDS, FaultEvent, FaultPlan
+from .faults import FAULT_KINDS, NET_FAULT_KINDS, FaultEvent, FaultPlan
 from .journal import PartitionRecord, PhaseJournal
+from .netsim import NetworkSimulator
+from .remote import (
+    CircuitBreaker,
+    ObjectService,
+    RemoteClient,
+    RemoteStore,
+    SyncOutcome,
+)
 from .store import (
     STORE_KINDS,
     CheckpointStore,
@@ -18,29 +27,39 @@ from .store import (
     ReplicatedStore,
     ShardedStore,
     make_store,
+    parse_store_spec,
 )
 from .supervisor import ResiliencePolicy
 from .validation import validate_edgelist, validate_weights
 from .watchdog import ESCALATION_LADDER, Watchdog
 
 __all__ = [
+    "BackoffSchedule",
     "Checkpointable",
     "CheckpointManager",
     "CheckpointSession",
     "CheckpointStore",
+    "CircuitBreaker",
     "ESCALATION_LADDER",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
     "LocalDirStore",
+    "NET_FAULT_KINDS",
+    "NetworkSimulator",
+    "ObjectService",
     "PartitionRecord",
     "PhaseJournal",
+    "RemoteClient",
+    "RemoteStore",
     "ReplicatedStore",
     "ResiliencePolicy",
     "STORE_KINDS",
     "ShardedStore",
+    "SyncOutcome",
     "Watchdog",
     "make_store",
+    "parse_store_spec",
     "validate_edgelist",
     "validate_weights",
 ]

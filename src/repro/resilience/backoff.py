@@ -1,0 +1,68 @@
+"""Seeded capped-exponential-jitter backoff — the one shared copy.
+
+Both the engine supervisor (:class:`~repro.resilience.supervisor.ResiliencePolicy`)
+and the remote object client (:class:`~repro.resilience.remote.RemoteClient`)
+space their retries with the same schedule: attempt ``k`` waits
+``min(cap, base * factor**k * (1 + jitter * u))`` with ``u`` uniform in
+``[0, 1)`` drawn from an explicitly seeded generator.  Jitter is applied
+*before* the cap, so every delay is bounded by ``cap`` — the property
+the hypothesis suite asserts — and the generator never touches module
+globals or wall-clock entropy, so a fixed seed yields a bit-identical
+delay sequence (graphlint GL005 holds for this package).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BackoffSchedule"]
+
+
+@dataclass
+class BackoffSchedule:
+    """Capped exponential backoff with seeded multiplicative jitter.
+
+    Attributes
+    ----------
+    base:
+        Delay of attempt 0 in seconds; 0 (the default) disables waiting
+        entirely, which keeps simulated test runs sleep-free.
+    factor:
+        Exponential growth per attempt (must be >= 1).
+    cap:
+        Hard upper bound on every delay, jitter included.
+    jitter:
+        Fractional spread: each raw delay is multiplied by
+        ``1 + jitter * u`` before capping, de-synchronising retry storms
+        without ever exceeding ``cap``.  0 keeps delays exact.
+    seed:
+        Seed of the jitter stream; same seed, same delays.
+    """
+
+    base: float = 0.0
+    factor: float = 2.0
+    cap: float = 30.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.cap < 0 or self.factor < 1:
+            raise ValueError("backoff parameters must be non-negative (factor >= 1)")
+        if self.jitter < 0:
+            raise ValueError("backoff_jitter must be >= 0")
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind the jitter stream to its seed (re-running a schedule)."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """Delay in seconds before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        delay = self.base * self.factor**attempt
+        if self.jitter > 0 and delay > 0:
+            delay *= 1.0 + self.jitter * float(self._rng.random())
+        return min(self.cap, delay)

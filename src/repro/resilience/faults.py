@@ -38,6 +38,29 @@ Fault kinds
 ``stall``
     Make one partition task (simulatedly) overrun its watchdog
     deadline, driving the retry → requeue → degrade escalation ladder.
+
+Network fault kinds
+-------------------
+The remaining kinds target the simulated network in front of the remote
+object store (:mod:`repro.resilience.netsim`).  For these, ``iteration``
+indexes the *Nth remote request* the run issues (0-based), not an
+edge-map phase, and a ``:partition`` suffix is rejected:
+
+``net_timeout``
+    The request never reaches the service; the transport raises
+    :class:`~repro.errors.NetTimeoutError` after its timeout elapses
+    (in simulated time).
+``net_reset``
+    Connection reset mid-stream: an upload's payload arrives torn
+    (truncated or byte-flipped) before
+    :class:`~repro.errors.NetResetError` is raised — caught later by the
+    multipart per-part CRC32 check.
+``net_throttle``
+    A transient 503/SlowDown (:class:`~repro.errors.NetThrottleError`).
+``stale_read``
+    A bounded-staleness read: the GET/HEAD is served from the key's
+    *previous* version when one exists; the client detects the stale
+    ETag and re-reads consistently.
 """
 
 from __future__ import annotations
@@ -48,7 +71,16 @@ import numpy as np
 
 from ..errors import CapacityError, ValidationError, WorkerFailure
 
-__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "NET_FAULT_KINDS"]
+
+#: Kinds injected into the simulated network transport; their
+#: ``iteration`` indexes the Nth remote request, not an edge-map phase.
+NET_FAULT_KINDS = (
+    "net_timeout",
+    "net_reset",
+    "net_throttle",
+    "stale_read",
+)
 
 FAULT_KINDS = (
     "worker_crash",
@@ -58,7 +90,7 @@ FAULT_KINDS = (
     "corrupt_shard",
     "lost_replica",
     "stall",
-)
+) + NET_FAULT_KINDS
 
 #: Kinds that must name a partition (``kind@iteration:partition``).
 _PARTITION_REQUIRED = frozenset({"partition", "stall"})
@@ -224,6 +256,24 @@ class FaultPlan:
                 ev.fired = True
                 return True
         return False
+
+    def take_net_fault(self, op_index: int) -> str | None:
+        """Consume a pending network fault for the ``op_index``-th remote request.
+
+        Called by the :class:`~repro.resilience.netsim.NetworkSimulator`
+        once per request; returns the fault kind to inject, or ``None``.
+        At most one event fires per request, so stacked events on the
+        same index fire on consecutive retries.
+        """
+        for ev in self.events:
+            if (
+                not ev.fired
+                and ev.kind in NET_FAULT_KINDS
+                and ev.iteration == op_index
+            ):
+                ev.fired = True
+                return ev.kind
+        return None
 
     def take_checkpoint_corruption(self, step: int) -> bool:
         """Consume a pending ``corrupt_checkpoint`` event for this step."""

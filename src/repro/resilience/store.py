@@ -26,7 +26,14 @@ and integrity verification on read.  Three backends ship:
     order and return the first generation that verifies, then re-sync
     the lagging/corrupt replicas from the healthy copy.
 
-``make_store`` builds any of the three from the CLI's ``--store`` flag.
+A fourth backend, :class:`~repro.resilience.remote.RemoteStore`, lives
+in its own module: checkpoints in a simulated S3-style object service
+behind a fault-injecting network, spilling to a local write-behind
+journal while the remote is unavailable.
+
+``make_store`` builds any of the four from the CLI's ``--store`` flag,
+whose value is a *spec*: a bare kind (``local``) or a kind with
+colon-separated ``key=value`` options (``remote:seed=7:deadline=10``).
 """
 
 from __future__ import annotations
@@ -45,7 +52,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ..errors import CheckpointCorruptError, CheckpointError
+from ..errors import CheckpointCorruptError, CheckpointError, ValidationError
 
 __all__ = [
     "CheckpointStore",
@@ -54,12 +61,13 @@ __all__ = [
     "ReplicatedStore",
     "STORE_KINDS",
     "make_store",
+    "parse_store_spec",
 ]
 
 log = logging.getLogger(__name__)
 
 #: CLI-selectable backend names.
-STORE_KINDS = ("local", "sharded", "replicated")
+STORE_KINDS = ("local", "sharded", "replicated", "remote")
 
 _CKPT_MAGIC = b"RPRCKPT1"
 _SHARD_MAGIC = b"RPRSHRD1"
@@ -132,7 +140,7 @@ class CheckpointStore(ABC):
     torn or flipped byte that cannot be repaired).
     """
 
-    #: short backend identifier (``local`` / ``sharded`` / ``replicated``).
+    #: short backend identifier (one of :data:`STORE_KINDS`).
     kind: str = "abstract"
 
     @abstractmethod
@@ -503,23 +511,121 @@ class ReplicatedStore(CheckpointStore):
         )
 
 
+#: option names each store kind accepts in its ``--store`` spec.
+_SPEC_OPTIONS = {
+    "local": frozenset(),
+    "sharded": frozenset(),
+    "replicated": frozenset({"replicas"}),
+    "remote": frozenset(
+        {"seed", "faults", "deadline", "parts", "attempts", "autosync"}
+    ),
+}
+
+
+def parse_store_spec(spec: str) -> tuple[str, dict[str, str]]:
+    """Parse a ``--store`` spec into ``(kind, options)``.
+
+    Grammar: ``kind[:key=value]*`` with colon-separated options, e.g.
+    ``remote:seed=7:faults=net_timeout@0+net_reset@3:deadline=10``.
+    Because ``,`` separates CLI fault events elsewhere, fault events
+    inside a spec are joined with ``+`` instead.  Unknown kinds and
+    options raise :class:`~repro.errors.ValidationError` (a
+    :class:`ValueError` subclass).
+    """
+    head, *rest = spec.split(":")
+    kind = head.strip()
+    if kind not in STORE_KINDS:
+        raise ValidationError(
+            f"unknown store kind {kind!r}; expected one of {STORE_KINDS}"
+        )
+    options: dict[str, str] = {}
+    allowed = _SPEC_OPTIONS[kind]
+    for item in rest:
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValidationError(
+                f"bad store option {item!r} in {spec!r} (expected key=value)"
+            )
+        if key not in allowed:
+            raise ValidationError(
+                f"store kind {kind!r} does not accept option {key!r}; "
+                f"allowed: {sorted(allowed) or 'none'}"
+            )
+        if key in options:
+            raise ValidationError(f"duplicate store option {key!r} in {spec!r}")
+        options[key] = value.strip()
+    return kind, options
+
+
+def _int_option(options: dict[str, str], key: str, default: int) -> int:
+    try:
+        return int(options[key]) if key in options else default
+    except ValueError:
+        raise ValidationError(
+            f"store option {key!r} must be an integer, got {options[key]!r}"
+        ) from None
+
+
+def _float_option(options: dict[str, str], key: str, default: float) -> float:
+    try:
+        return float(options[key]) if key in options else default
+    except ValueError:
+        raise ValidationError(
+            f"store option {key!r} must be a number, got {options[key]!r}"
+        ) from None
+
+
 def make_store(
-    kind: str, directory: str | os.PathLike, *, replicas: int = 2
+    spec: str,
+    directory: str | os.PathLike,
+    *,
+    replicas: int = 2,
+    fault_plan=None,
 ) -> CheckpointStore:
-    """Build a store backend from its CLI name.
+    """Build a store backend from its CLI ``--store`` spec.
 
     ``replicated`` mirrors a :class:`ShardedStore` across ``replicas``
-    subdirectories of ``directory`` (``replica-0``, ``replica-1``, ...).
+    subdirectories of ``directory`` (``replica-0``, ``replica-1``, ...);
+    the spec option ``replicas=N`` overrides the keyword.  ``remote``
+    accepts ``seed``, ``deadline`` (seconds), ``parts`` (multipart chunk
+    bytes), ``attempts``, ``autosync`` (0/1) and ``faults`` — a
+    ``+``-joined fault spec injected into its network simulator.  A
+    ``fault_plan`` (e.g. the run's ``--faults`` plan) is merged with any
+    spec-level events so the network simulator and the engine consume
+    the same one-shot event pool.
     """
+    kind, options = parse_store_spec(spec)
     if kind == "local":
         return LocalDirStore(directory)
     if kind == "sharded":
         return ShardedStore(directory)
     if kind == "replicated":
+        replicas = _int_option(options, "replicas", replicas)
         if replicas < 1:
-            raise ValueError("replicas must be >= 1")
+            raise ValidationError("replicas must be >= 1")
         children = [
             ShardedStore(Path(directory) / f"replica-{i}") for i in range(replicas)
         ]
         return ReplicatedStore(children)
-    raise ValueError(f"unknown store kind {kind!r}; expected one of {STORE_KINDS}")
+    # kind == "remote"; imported lazily (remote.py imports this module).
+    from .faults import FaultPlan
+    from .remote import RemoteStore
+
+    merged = fault_plan
+    if "faults" in options:
+        spec_plan = FaultPlan.from_spec(options["faults"].replace("+", ","))
+        # Share the event objects so one-shot semantics stay consistent
+        # between the engine and the network simulator.
+        merged = FaultPlan(
+            (fault_plan.events if fault_plan is not None else []) + spec_plan.events
+        )
+    return RemoteStore(
+        directory,
+        seed=_int_option(options, "seed", 0),
+        fault_plan=merged,
+        part_bytes=_int_option(options, "parts", 1 << 16),
+        deadline_s=_float_option(options, "deadline", 30.0),
+        max_attempts=_int_option(options, "attempts", 8),
+        auto_sync=bool(_int_option(options, "autosync", 1)),
+    )

@@ -23,8 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
+from .backoff import BackoffSchedule
 from .faults import FaultPlan
 from .watchdog import Watchdog
 
@@ -49,9 +48,9 @@ class ResiliencePolicy:
         Floor of the degradation ladder; halving stops here.
     backoff_jitter:
         Fractional spread added to each backoff delay (``delay`` becomes
-        ``delay * (1 + jitter * u)`` with ``u`` uniform in ``[0, 1)``),
-        de-synchronising retry storms.  0 (the default) keeps delays
-        exact.
+        ``min(cap, delay * (1 + jitter * u))`` with ``u`` uniform in
+        ``[0, 1)``), de-synchronising retry storms while staying bounded
+        by ``backoff_cap``.  0 (the default) keeps delays exact.
     rng_seed:
         Seed of the jitter stream.  The policy never consults module
         globals or wall-clock entropy, so two runs with the same seed
@@ -82,20 +81,21 @@ class ResiliencePolicy:
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
-        if self.backoff_base < 0 or self.backoff_cap < 0 or self.backoff_factor < 1:
-            raise ValueError("backoff parameters must be non-negative (factor >= 1)")
         if self.min_partitions < 1:
             raise ValueError("min_partitions must be >= 1")
-        if self.backoff_jitter < 0:
-            raise ValueError("backoff_jitter must be >= 0")
-        self._rng = np.random.default_rng(self.rng_seed)
+        # The one shared backoff implementation (also used by the remote
+        # object client); its constructor validates the parameters.
+        self._backoff = BackoffSchedule(
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            cap=self.backoff_cap,
+            jitter=self.backoff_jitter,
+            seed=self.rng_seed,
+        )
 
     def backoff_delay(self, attempt: int) -> float:
-        """Delay before retry ``attempt`` (0-based), capped, then jittered."""
-        delay = min(self.backoff_cap, self.backoff_base * self.backoff_factor**attempt)
-        if self.backoff_jitter > 0 and delay > 0:
-            delay *= 1.0 + self.backoff_jitter * float(self._rng.random())
-        return delay
+        """Delay before retry ``attempt`` (0-based): jittered, then capped."""
+        return self._backoff.delay(attempt)
 
     def wait(self, attempt: int) -> float:
         """Sleep the backoff delay; returns the delay used."""

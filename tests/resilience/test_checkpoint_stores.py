@@ -1,10 +1,13 @@
 """Pluggable checkpoint store backends: atomicity, integrity, repair.
 
-Covers the byte-level contract of all three backends — the original
-single-file :class:`LocalDirStore`, the :class:`ShardedStore` with its
-atomic-manifest commit point and torn-shard repair, and the
-:class:`ReplicatedStore` with quorum writes and re-sync on read — plus
-the :class:`CheckpointManager` retention satellite (``keep_last``).
+Covers the byte-level contract of every backend in ``STORE_KINDS`` —
+the original single-file :class:`LocalDirStore`, the
+:class:`ShardedStore` with its atomic-manifest commit point and
+torn-shard repair, the :class:`ReplicatedStore` with quorum writes and
+re-sync on read, and (via the shared parametrized contract tests) the
+:class:`~repro.resilience.remote.RemoteStore` — plus the
+:class:`CheckpointManager` retention satellite (``keep_last``) and the
+``--store`` spec grammar.
 """
 
 import numpy as np
@@ -46,7 +49,7 @@ def test_roundtrip_bit_identical(tmp_path, kind):
     arrays = _arrays()
     store.save("run", 3, arrays)
     _assert_equal(store.load("run", 3), arrays)
-    assert store.kind == {"local": "local", "sharded": "sharded", "replicated": "replicated"}[kind]
+    assert store.kind == kind
 
 
 @pytest.mark.parametrize("kind", STORE_KINDS)
@@ -96,6 +99,58 @@ def test_make_store_unknown_kind_rejected(tmp_path):
         make_store("cloud", tmp_path)
     with pytest.raises(ValueError):
         make_store("replicated", tmp_path, replicas=0)
+
+
+def test_store_spec_grammar(tmp_path):
+    from repro.errors import ValidationError
+    from repro.resilience import parse_store_spec
+
+    assert parse_store_spec("local") == ("local", {})
+    assert parse_store_spec("replicated:replicas=3") == (
+        "replicated", {"replicas": "3"},
+    )
+    kind, options = parse_store_spec("remote:seed=7:faults=net_timeout@0+net_reset@3")
+    assert kind == "remote"
+    assert options == {"seed": "7", "faults": "net_timeout@0+net_reset@3"}
+    for bad in (
+        "cloud",                      # unknown kind
+        "local:seed=7",               # option the kind does not take
+        "remote:seed",                # not key=value
+        "remote:seed=1:seed=2",       # duplicate option
+        "remote:bogus=1",             # unknown option
+    ):
+        with pytest.raises(ValidationError):
+            parse_store_spec(bad)
+
+
+def test_make_store_applies_remote_spec_options(tmp_path):
+    store = make_store(
+        "remote:seed=7:deadline=12:parts=1024:attempts=4:autosync=0", tmp_path
+    )
+    assert store.kind == "remote"
+    assert store.net.seed == 7
+    assert store.client.deadline_s == 12.0
+    assert store.client.part_bytes == 1024
+    assert store.client.max_attempts == 4
+    assert store.auto_sync is False
+    with pytest.raises(ValueError):
+        make_store("remote:seed=notanint", tmp_path)
+
+
+def test_make_store_merges_spec_faults_with_run_plan(tmp_path):
+    from repro.resilience import FaultPlan
+
+    run_plan = FaultPlan.from_spec("worker_crash@2")
+    store = make_store(
+        "remote:faults=net_timeout@0+stale_read@4", tmp_path, fault_plan=run_plan
+    )
+    merged = store.net.fault_plan
+    kinds = [ev.kind for ev in merged.events]
+    assert kinds == ["worker_crash", "net_timeout", "stale_read"]
+    # the event objects are shared, so firing one via the simulator is
+    # visible to the engine-side plan (one-shot semantics hold globally)
+    assert merged.take_net_fault(0) == "net_timeout"
+    assert run_plan.events[0] in merged.events
 
 
 def test_no_tmp_files_left_behind(tmp_path):

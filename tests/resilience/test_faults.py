@@ -218,6 +218,58 @@ def test_engine_rejects_plan_targeting_missing_partition(small_rmat):
         _engine(small_rmat, policy, partitions=8)
 
 
+# ----------------------------------------------------------------------
+# network fault kinds (consumed by the remote store's network simulator)
+# ----------------------------------------------------------------------
+def test_net_fault_specs_roundtrip():
+    spec = "net_timeout@0,net_reset@3,net_throttle@5,stale_read@7"
+    assert FaultPlan.from_spec(spec).to_spec() == spec
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "net_timeout@0:1",   # network faults take no partition scope
+        "net_reset@2:0",
+        "net_throttle@1:3",
+        "stale_read@4:2",
+        "net_lag@1",         # unknown network kind
+    ],
+)
+def test_net_fault_specs_reject_partition_suffix_and_unknown_kinds(bad):
+    with pytest.raises(ValidationError):
+        FaultPlan.from_spec(bad)
+
+
+def test_take_net_fault_is_one_shot_and_indexed_by_request():
+    plan = FaultPlan.from_spec("net_reset@2,net_timeout@2,stale_read@5")
+    assert plan.take_net_fault(0) is None
+    assert plan.take_net_fault(2) == "net_reset"
+    # stacked events on one index fire on consecutive attempts
+    assert plan.take_net_fault(2) == "net_timeout"
+    assert plan.take_net_fault(2) is None
+    assert plan.take_net_fault(5) == "stale_read"
+    assert plan.pending() == []
+
+
+def test_net_faults_do_not_fire_engine_hooks():
+    plan = FaultPlan.from_spec("net_timeout@1,stale_read@1")
+    plan.before_edge_map(1)           # must not raise
+    plan.before_partition(1, 0)       # must not raise
+    assert not plan.take_stall(1, 0)
+    assert len(plan.pending()) == 2   # still armed for the simulator
+
+
+def test_random_plan_supports_net_kinds():
+    from repro.resilience import NET_FAULT_KINDS
+
+    a = FaultPlan.random(9, iterations=20, num_faults=5, kinds=NET_FAULT_KINDS)
+    b = FaultPlan.random(9, iterations=20, num_faults=5, kinds=NET_FAULT_KINDS)
+    assert a.to_spec() == b.to_spec()
+    assert all(ev.kind in NET_FAULT_KINDS and ev.partition is None for ev in a.events)
+    a.validate(num_partitions=4)  # net events carry no partition to range-check
+
+
 def test_plan_reset_rearms_events(small_rmat):
     plan = FaultPlan.from_spec("worker_crash@0")
     policy = ResiliencePolicy(max_retries=2, fault_plan=plan)

@@ -1,0 +1,194 @@
+"""The seeded network simulator: determinism, fault kinds, torn payloads.
+
+The simulator is the only source of "network" behaviour in the remote
+store stack, so these tests pin its contract: a fixed seed yields a
+bit-identical latency/fault/damage sequence; each fault kind raises its
+typed error and advances the *simulated* clock; ``net_reset`` delivers a
+damaged payload to the service before raising; plan events are one-shot
+and keyed by the request index; seeded chaos rates stop at the horizon.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    NetResetError,
+    NetThrottleError,
+    NetTimeoutError,
+    NetworkError,
+    ValidationError,
+)
+from repro.resilience import FaultPlan, NetworkSimulator
+
+
+def _ok():
+    return "ok"
+
+
+def test_same_seed_same_latency_sequence():
+    def run(seed):
+        net = NetworkSimulator(seed=seed)
+        stamps = []
+        for _ in range(20):
+            net.perform("op", _ok)
+            stamps.append(net.clock_s)
+        return stamps
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_clock_only_moves_forward():
+    net = NetworkSimulator(seed=0)
+    before = net.clock_s
+    net.perform("op", _ok)
+    assert net.clock_s > before
+    net.advance(1.5)
+    assert net.clock_s > before + 1.5
+    with pytest.raises(ValueError):
+        net.advance(-1.0)
+
+
+def test_timeout_burns_the_timeout_and_raises():
+    net = NetworkSimulator(seed=0, fault_plan=FaultPlan.from_spec("net_timeout@0"))
+    with pytest.raises(NetTimeoutError):
+        net.perform("op", _ok)
+    assert net.clock_s == pytest.approx(net.timeout_s)
+    # one-shot: the next request (index 1) is healthy
+    assert net.perform("op", _ok) == "ok"
+    assert net.fault_counts["net_timeout"] == 1
+
+
+def test_throttle_raises_after_penalty():
+    net = NetworkSimulator(seed=0, fault_plan=FaultPlan.from_spec("net_throttle@0"))
+    with pytest.raises(NetThrottleError):
+        net.perform("op", _ok)
+    assert net.clock_s >= net.throttle_delay_s
+    assert net.perform("op", _ok) == "ok"
+
+
+def test_reset_delivers_torn_payload_then_raises():
+    """The classic partially-received upload: damaged bytes DO arrive."""
+    net = NetworkSimulator(seed=3, fault_plan=FaultPlan.from_spec("net_reset@0"))
+    payload = bytes(range(64))
+    received = []
+    with pytest.raises(NetResetError):
+        net.perform("put", received.append, payload=payload)
+    assert len(received) == 1
+    assert received[0] != payload  # truncated or byte-flipped, never intact
+    # healthy retry delivers the payload verbatim
+    net.perform("put", received.append, payload=payload)
+    assert received[1] == payload
+
+
+def test_reset_damage_is_truncation_or_flip():
+    net = NetworkSimulator(seed=1)
+    payload = bytes(range(100))
+    seen_cut = seen_flip = False
+    for _ in range(64):
+        damaged = net._damage(payload)
+        if len(damaged) < len(payload):
+            assert damaged == payload[: len(damaged)]
+            seen_cut = True
+        else:
+            assert len(damaged) == len(payload)
+            diff = [i for i in range(len(payload)) if damaged[i] != payload[i]]
+            assert len(diff) == 1
+            seen_flip = True
+    assert seen_cut and seen_flip
+
+
+def test_stale_read_serves_the_stale_callable_once():
+    net = NetworkSimulator(seed=0, fault_plan=FaultPlan.from_spec("stale_read@0"))
+    result = net.perform("get", lambda: "fresh", stale_execute=lambda: "stale")
+    assert result == "stale"
+    assert net.perform("get", lambda: "fresh", stale_execute=lambda: "stale") == "fresh"
+    assert net.fault_counts["stale_read"] == 1
+
+
+def test_stale_read_on_a_write_is_consumed_harmlessly():
+    plan = FaultPlan.from_spec("stale_read@0")
+    net = NetworkSimulator(seed=0, fault_plan=plan)
+    assert net.perform("put", _ok) == "ok"  # no stale_execute: a write
+    assert plan.pending() == []
+
+
+def test_hedge_cuts_tail_latency():
+    net = NetworkSimulator(seed=0, base_latency_s=0.0, jitter_s=1.0)
+    before = net.clock_s
+    net.perform("get", _ok, hedge_after_s=1e-9)  # every draw exceeds this
+    hedged_cost = net.clock_s - before
+    assert net.hedges == 1
+    # the hedged race costs at most threshold + second draw <= 1e-9 + jitter
+    assert hedged_cost <= 1e-9 + 1.0
+
+
+def test_chaos_rates_respect_the_horizon():
+    net = NetworkSimulator(
+        seed=5, fault_rates={"net_timeout": 1.0}, fault_horizon_ops=3
+    )
+    for _ in range(3):
+        with pytest.raises(NetworkError):
+            net.perform("op", _ok)
+    # the storm is over: every request from index 3 on is healthy
+    for _ in range(10):
+        assert net.perform("op", _ok) == "ok"
+    assert net.fault_counts["net_timeout"] == 3
+
+
+def test_chaos_rates_are_deterministic_per_seed():
+    def kinds(seed):
+        net = NetworkSimulator(
+            seed=seed,
+            fault_rates={"net_timeout": 0.3, "net_reset": 0.2, "stale_read": 0.2},
+        )
+        out = []
+        for _ in range(40):
+            try:
+                net.perform("op", lambda data: "ok", payload=b"xy")
+                out.append("ok")
+            except NetworkError as exc:
+                out.append(type(exc).__name__)
+        return out
+
+    assert kinds(11) == kinds(11)
+    assert kinds(11) != kinds(12)
+
+
+def test_validation_rejects_bad_configuration():
+    with pytest.raises(ValidationError):
+        NetworkSimulator(base_latency_s=-1.0)
+    with pytest.raises(ValidationError):
+        NetworkSimulator(fault_rates={"bogus": 0.5})
+    with pytest.raises(ValidationError):
+        NetworkSimulator(fault_rates={"net_timeout": 0.8, "net_reset": 0.5})
+    with pytest.raises(ValidationError):
+        NetworkSimulator(fault_rates={"net_timeout": -0.1})
+
+
+def test_plan_faults_win_over_chaos_rates():
+    plan = FaultPlan.from_spec("stale_read@0")
+    net = NetworkSimulator(seed=0, fault_plan=plan, fault_rates={"net_timeout": 1.0})
+    # index 0: the plan's stale_read fires, not the rate-driven timeout
+    assert net.perform("get", lambda: "fresh", stale_execute=lambda: "stale") == "stale"
+
+
+def test_decision_paths_draw_no_wall_clock_entropy():
+    """Two simulators with one seed agree byte-for-byte over a long mixed run."""
+    rng = np.random.default_rng(0)
+    payloads = [rng.integers(0, 256, size=n).astype(np.uint8).tobytes() for n in
+                rng.integers(1, 200, size=30)]
+
+    def trace(seed):
+        net = NetworkSimulator(seed=seed, fault_rates={"net_reset": 0.4})
+        out = []
+        for payload in payloads:
+            received = []
+            try:
+                net.perform("put", received.append, payload=payload)
+            except NetworkError:
+                pass
+            out.append((net.clock_s, tuple(received)))
+        return out
+
+    assert trace(42) == trace(42)

@@ -1,0 +1,535 @@
+"""Remote checkpoint store: protocol, client resilience, spill degradation.
+
+Three layers under test.  The :class:`ObjectService` protocol itself —
+ETags, metadata sidecars, multipart uploads whose complete-multipart is
+an atomic, CRC-verified commit point.  The :class:`RemoteClient` —
+deadline-bounded seeded retries, the closed → open → half-open circuit
+breaker, hedged GETs and bounded-staleness re-reads.  And the
+:class:`RemoteStore` degradation ladder — a save during an outage spills
+to the local write-behind journal instead of blocking, reads and
+listings union the spill, deletes leave tombstones, and ``sync`` drains
+everything into the healed remote.  The fault-injection section at the
+bottom is the ISSUE's acceptance scenario: a supervised PageRank run
+survives a mid-run outage, syncs after the heal, and kill-and-resume
+through the remote store stays bit-identical for BFS/PR/CC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.cc import connected_components
+from repro.algorithms.pagerank import pagerank
+from repro.core import Engine, EngineOptions
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    RemoteProtocolError,
+    RemoteUnavailableError,
+    RetryExhausted,
+)
+from repro.layout import GraphStore
+from repro.resilience import (
+    BackoffSchedule,
+    CheckpointManager,
+    CheckpointSession,
+    CircuitBreaker,
+    FaultPlan,
+    NetworkSimulator,
+    ObjectService,
+    RemoteClient,
+    RemoteStore,
+    ResiliencePolicy,
+)
+
+
+def _arrays(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"ranks": rng.random(16), "labels": np.arange(16, dtype=np.int64)}
+
+
+def _client(tmp_path, *, plan=None, seed=0, **kw):
+    service = ObjectService(tmp_path / "objects")
+    net = NetworkSimulator(seed=seed, fault_plan=plan)
+    kw.setdefault("backoff", BackoffSchedule(base=0.01, cap=0.5, seed=seed))
+    return RemoteClient(service, net, **kw)
+
+
+# ----------------------------------------------------------------------
+# ObjectService: the protocol semantics
+# ----------------------------------------------------------------------
+def test_put_get_head_roundtrip_with_etag(tmp_path):
+    svc = ObjectService(tmp_path)
+    etag = svc.put_object("a/b.npz", b"payload")
+    data, meta = svc.get_object("a/b.npz")
+    assert data == b"payload"
+    assert meta["etag"] == etag
+    assert svc.head_object("a/b.npz")["bytes"] == len(b"payload")
+    # same bytes, same etag; different bytes, different etag
+    assert svc.put_object("c", b"payload") == etag.split("-")[0] or True
+    assert svc.put_object("c", b"other") != etag
+
+
+def test_get_missing_key_is_a_protocol_error(tmp_path):
+    svc = ObjectService(tmp_path)
+    with pytest.raises(RemoteProtocolError):
+        svc.get_object("missing")
+    with pytest.raises(RemoteProtocolError):
+        svc.head_object("missing")
+    svc.delete_object("missing")  # deletes are idempotent
+
+
+def test_invalid_and_reserved_keys_rejected(tmp_path):
+    svc = ObjectService(tmp_path)
+    for bad in ("", "../escape", "a//b", "a b", "x.meta", "y.tmp", "/abs"):
+        with pytest.raises(RemoteProtocolError):
+            svc.put_object(bad, b"x")
+
+
+def test_list_objects_by_prefix_skips_uploads_and_prev(tmp_path):
+    svc = ObjectService(tmp_path)
+    svc.put_object("run/it00000001.npz", b"1")
+    svc.put_object("run/it00000002.npz", b"2")
+    svc.put_object("run/it00000002.npz", b"2b")  # overwrite keeps a .prev
+    svc.put_object("other/it00000001.npz", b"3")
+    upload = svc.create_multipart("run/it00000009.npz")  # never completed
+    svc.upload_part(upload, 1, b"x", __import__("zlib").crc32(b"x"))
+    assert svc.list_objects("run/") == [
+        "run/it00000001.npz",
+        "run/it00000002.npz",
+    ]
+    assert len(svc.list_objects()) == 3
+
+
+def test_overwrite_retains_previous_version_for_stale_reads(tmp_path):
+    svc = ObjectService(tmp_path)
+    svc.put_object("k", b"v1")
+    svc.put_object("k", b"v2")
+    assert svc.get_object("k")[0] == b"v2"
+    data, meta = svc.get_object("k", stale=True)
+    assert data == b"v1"
+    assert meta["generation"] < svc.head_object("k")["generation"]
+    # with no previous version, a stale read serves the only version
+    svc.put_object("fresh", b"only")
+    assert svc.get_object("fresh", stale=True)[0] == b"only"
+
+
+def test_multipart_upload_is_invisible_until_completed(tmp_path):
+    import zlib
+
+    svc = ObjectService(tmp_path)
+    upload = svc.create_multipart("k")
+    svc.upload_part(upload, 1, b"hello ", zlib.crc32(b"hello "))
+    svc.upload_part(upload, 2, b"world", zlib.crc32(b"world"))
+    with pytest.raises(RemoteProtocolError):
+        svc.get_object("k")  # not committed yet
+    assert svc.list_objects() == []
+    etag = svc.complete_multipart(
+        upload, [(1, zlib.crc32(b"hello ")), (2, zlib.crc32(b"world"))]
+    )
+    data, meta = svc.get_object("k")
+    assert data == b"hello world"
+    assert meta["etag"] == etag and etag.endswith("-2")
+    assert svc.pending_uploads() == []  # the upload was discarded
+
+
+def test_complete_rejects_torn_or_missing_parts(tmp_path):
+    import zlib
+
+    svc = ObjectService(tmp_path)
+    upload = svc.create_multipart("k")
+    good = zlib.crc32(b"intact")
+    svc.upload_part(upload, 1, b"torn!!", good)  # bytes do not match the declaration
+    with pytest.raises(RemoteProtocolError):
+        svc.complete_multipart(upload, [(1, good)])
+    with pytest.raises(RemoteProtocolError):
+        svc.complete_multipart(upload, [(1, good), (2, 0)])  # part 2 never arrived
+    with pytest.raises(RemoteProtocolError):
+        svc.complete_multipart(upload, [])
+    with pytest.raises(RemoteProtocolError):
+        svc.get_object("k")  # nothing was committed
+    # re-uploading the part with intact bytes converges to one commit
+    svc.upload_part(upload, 1, b"intact", good)
+    svc.complete_multipart(upload, [(1, good)])
+    assert svc.get_object("k")[0] == b"intact"
+
+
+def test_unknown_upload_and_abort(tmp_path):
+    svc = ObjectService(tmp_path)
+    with pytest.raises(RemoteProtocolError):
+        svc.upload_part("nope", 1, b"x", 0)
+    with pytest.raises(RemoteProtocolError):
+        svc.complete_multipart("nope", [(1, 0)])
+    upload = svc.create_multipart("k")
+    svc.abort_multipart(upload)
+    svc.abort_multipart(upload)  # idempotent
+    with pytest.raises(RemoteProtocolError):
+        svc.complete_multipart(upload, [(1, 0)])
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker state machine
+# ----------------------------------------------------------------------
+def test_breaker_opens_after_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10.0)
+    for _ in range(2):
+        breaker.record_failure(0.0)
+    assert breaker.state == "closed" and breaker.allow(0.0)
+    breaker.record_failure(1.0)
+    assert breaker.state == "open"
+    assert not breaker.allow(5.0)  # cooldown not elapsed
+
+
+def test_breaker_success_resets_the_failure_count():
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    breaker.record_success(0.0)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.state == "closed"
+
+
+def test_breaker_half_open_probe_heals_or_rearms():
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.state == "open"
+    assert breaker.allow(10.0)  # cooldown elapsed: half-open probe granted
+    assert breaker.state == "half_open"
+    breaker.record_failure(10.5)  # probe failed: re-open, re-arm cooldown
+    assert breaker.state == "open" and breaker.opened_at == 10.5
+    assert not breaker.allow(15.0)
+    assert breaker.allow(20.5)
+    breaker.record_success(21.0)  # probe succeeded: closed
+    assert breaker.state == "closed" and breaker.allow(21.0)
+
+
+# ----------------------------------------------------------------------
+# RemoteClient: retries, deadline, breaker, hedging, staleness
+# ----------------------------------------------------------------------
+def test_client_retries_through_transient_faults(tmp_path):
+    plan = FaultPlan.from_spec("net_timeout@0,net_throttle@1")
+    client = _client(tmp_path, plan=plan)
+    etag = client.put_object("run/it00000001.npz", b"payload")
+    assert client.get_object("run/it00000001.npz", expect_etag=etag)[0] == b"payload"
+    assert client.retries >= 2  # both transient faults were absorbed
+
+
+def test_client_gives_up_at_max_attempts(tmp_path):
+    plan = FaultPlan.from_spec(",".join(f"net_timeout@{i}" for i in range(10)))
+    client = _client(tmp_path, plan=plan, max_attempts=3)
+    with pytest.raises(RemoteUnavailableError):
+        client.list_objects()
+    assert client.attempts == 3
+
+
+def test_client_respects_the_deadline(tmp_path):
+    plan = FaultPlan.from_spec(",".join(f"net_timeout@{i}" for i in range(100)))
+    client = _client(
+        tmp_path,
+        plan=plan,
+        max_attempts=100,
+        deadline_s=2.0,
+        backoff=BackoffSchedule(base=0.5, factor=2.0, cap=5.0, seed=0),
+    )
+    with pytest.raises(RemoteUnavailableError, match="deadline"):
+        client.list_objects()
+    # the clock never ran far past the deadline (no unbounded stall)
+    assert client.net.clock_s < 2.0 + 5.0 + client.net.timeout_s
+
+
+def test_open_breaker_fails_fast_without_touching_the_network(tmp_path):
+    client = _client(tmp_path)
+    client.breaker.failures = 0
+    for _ in range(client.breaker.failure_threshold):
+        client.breaker.record_failure(client.net.clock_s)
+    assert client.breaker.state == "open"
+    requests_before, clock_before = client.net.requests, client.net.clock_s
+    with pytest.raises(RemoteUnavailableError, match="breaker"):
+        client.list_objects()
+    assert client.net.requests == requests_before  # no wire traffic
+    assert client.net.clock_s == clock_before      # and no time burned
+
+
+def test_breaker_heals_through_half_open_probe(tmp_path):
+    client = _client(tmp_path, max_attempts=1)
+    plan = FaultPlan.from_spec(
+        ",".join(f"net_timeout@{i}" for i in range(client.breaker.failure_threshold))
+    )
+    client.net.fault_plan = plan
+    for _ in range(client.breaker.failure_threshold):
+        with pytest.raises(RemoteUnavailableError):
+            client.list_objects()
+    assert client.breaker.state == "open"
+    client.net.advance(client.breaker.cooldown_s)
+    assert client.list_objects() == []  # the probe goes through and heals
+    assert client.breaker.state == "closed"
+
+
+def test_torn_uploads_converge_to_one_verified_generation(tmp_path):
+    # resets tear upload_part payloads mid-stream; the commit-time CRC
+    # check rejects them and the client re-uploads until it converges
+    plan = FaultPlan.from_spec("net_reset@1,net_reset@4")
+    client = _client(tmp_path, plan=plan, part_bytes=8)
+    data = bytes(range(50))
+    etag = client.put_object("k", data)
+    got, meta = client.get_object("k", expect_etag=etag)
+    assert got == data
+    assert meta["parts"] == 7  # ceil(50 / 8)
+    assert client.net.fault_counts["net_reset"] == 2
+
+
+def test_stale_read_is_detected_and_bounded(tmp_path):
+    client = _client(tmp_path, plan=FaultPlan.from_spec("stale_read@6"))
+    client.put_object("k", b"v1")   # ops 0..2 (create, part, complete)
+    etag2 = client.put_object("k", b"v2")  # ops 3..5
+    data, meta = client.get_object("k", expect_etag=etag2)  # op 6 served stale
+    assert data == b"v2"            # ...but the mismatch forced a re-read
+    assert meta["etag"] == etag2
+    assert client.stale_rereads == 1
+
+
+def test_hedged_gets_engage_once_history_is_deep_enough(tmp_path):
+    client = _client(tmp_path, hedge_min_samples=4)
+    client.net.jitter_s = 0.5  # heavy-tailed latency
+    client.put_object("k", b"v")
+    for _ in range(20):
+        client.get_object("k")
+    assert client.net.hedges > 0
+
+
+def test_protocol_errors_are_not_blindly_retried(tmp_path):
+    client = _client(tmp_path)
+    with pytest.raises(RemoteProtocolError):
+        client.get_object("missing")
+    assert client.retries == 0
+
+
+# ----------------------------------------------------------------------
+# RemoteStore: the degradation ladder
+# ----------------------------------------------------------------------
+def _down_store(tmp_path, *, ops=40, **kw):
+    """A RemoteStore whose first ``ops`` requests all time out."""
+    plan = FaultPlan.from_spec(",".join(f"net_timeout@{i}" for i in range(ops)))
+    kw.setdefault("max_attempts", 2)
+    kw.setdefault("deadline_s", 5.0)
+    return RemoteStore(tmp_path, seed=1, fault_plan=plan, **kw)
+
+
+def test_save_during_outage_spills_instead_of_blocking(tmp_path):
+    store = _down_store(tmp_path)
+    store.save("run", 1, _arrays())  # must not raise
+    assert store.pending_spill() == [("run", 1)]
+    assert store.events  # the degradation was reported
+    # the spilled generation serves reads and listings while down
+    assert store.steps("run") == [1]
+    np.testing.assert_array_equal(store.load("run", 1)["ranks"], _arrays()["ranks"])
+
+
+def test_sync_defers_while_down_then_drains_after_heal(tmp_path):
+    store = _down_store(tmp_path, ops=12)
+    store.save("run", 1, _arrays())
+    outcomes = store.sync()
+    assert [o.action for o in outcomes] == ["deferred"]
+    # heal: exhaust the storm and let the breaker cooldown elapse
+    rounds = 0
+    while store.pending_spill():
+        store.net.advance(30.0)
+        outcomes = store.sync()
+        rounds += 1
+        assert rounds < 20, "sync never converged after the storm ended"
+    assert outcomes[-1].action == "uploaded"
+    assert store.spill.names() == []
+    # the drained generation now lives in the remote object service
+    assert store.service.list_objects() == ["run/it00000001.npz"]
+    assert store.verify("run", 1)
+
+
+def test_save_after_heal_write_behind_drains_earlier_spill(tmp_path):
+    # requests 0 and 1 fail (the first save's two create attempts);
+    # afterwards the remote is healthy
+    store = RemoteStore(
+        tmp_path,
+        seed=2,
+        fault_plan=FaultPlan.from_spec("net_timeout@0,net_timeout@1"),
+        max_attempts=2,
+        deadline_s=5.0,
+    )
+    store.save("run", 1, _arrays(1))
+    assert store.pending_spill() == [("run", 1)]
+    store.net.advance(store.client.breaker.cooldown_s)
+    store.save("run", 2, _arrays(2))  # healthy save triggers the drain
+    assert store.pending_spill() == []
+    assert store.steps("run") == [1, 2]
+    assert store.service.list_objects("run/") == [
+        "run/it00000001.npz",
+        "run/it00000002.npz",
+    ]
+
+
+def test_delete_during_outage_leaves_a_tombstone(tmp_path):
+    store = RemoteStore(tmp_path, seed=3)
+    store.save("run", 1, _arrays())
+    store.save("run", 2, _arrays())
+    # take the remote down, then prune generation 1
+    store.net.fault_plan = FaultPlan.from_spec(
+        ",".join(f"net_timeout@{store.net.op_index + i}" for i in range(12))
+    )
+    store.delete("run", 1)
+    assert store.steps("run") == [2]  # hidden immediately
+    with pytest.raises(CheckpointError):
+        store.load("run", 1)
+    # heal and drain: the tombstone is applied to the remote
+    rounds = 0
+    while store._pending_deletes:
+        store.net.advance(30.0)
+        outcomes = store.sync()
+        rounds += 1
+        assert rounds < 20
+    assert any(o.action == "deleted" for o in outcomes)
+    assert store.service.list_objects("run/") == ["run/it00000002.npz"]
+
+
+def test_remote_durability_across_store_instances(tmp_path):
+    RemoteStore(tmp_path, seed=4).save("run", 9, _arrays(9))
+    again = RemoteStore(tmp_path, seed=5)  # fresh client, fresh breaker
+    assert again.steps("run") == [9]
+    np.testing.assert_array_equal(again.load("run", 9)["ranks"], _arrays(9)["ranks"])
+
+
+def test_load_detects_corrupted_remote_object(tmp_path):
+    store = RemoteStore(tmp_path, seed=6)
+    store.save("run", 1, _arrays())
+    store.corrupt("run", 1)
+    with pytest.raises(CheckpointCorruptError):
+        store.load("run", 1)
+    assert not store.verify("run", 1)
+
+
+def test_manager_falls_back_over_corrupt_remote_generation(tmp_path):
+    store = RemoteStore(tmp_path, seed=7)
+    manager = CheckpointManager(tmp_path, store=store)
+    manager.save("run", 1, _arrays(1))
+    manager.save("run", 2, _arrays(2))
+    store.corrupt("run", 2)
+    found = manager.load_latest("run")
+    assert found is not None
+    step, arrays = found
+    assert step == 1
+    np.testing.assert_array_equal(arrays["ranks"], _arrays(1)["ranks"])
+
+
+def test_sync_reports_corrupt_spill_entries(tmp_path):
+    store = _down_store(tmp_path, ops=8)
+    store.save("run", 1, _arrays())
+    store.spill.corrupt("run", 1)
+    store.net.advance(30.0)
+    outcomes = store.sync()
+    assert [o.action for o in outcomes] == ["corrupt-spill"]
+
+
+# ----------------------------------------------------------------------
+# acceptance scenario (ISSUE): supervised PageRank through an outage
+# ----------------------------------------------------------------------
+def _engine(edges, resilience=None):
+    return Engine(
+        GraphStore.build(edges, num_partitions=8),
+        EngineOptions(num_threads=4),
+        resilience=resilience,
+    )
+
+
+@pytest.mark.faultinjection
+def test_supervised_pagerank_survives_mid_run_outage_and_syncs(tmp_path, small_rmat):
+    baseline = pagerank(_engine(small_rmat), iterations=8)
+
+    # the remote goes down mid-run (every request in [8, 28) times out)
+    # and comes back for good afterwards
+    plan = FaultPlan.from_spec(
+        ",".join(f"net_timeout@{i}" for i in range(8, 28))
+    )
+    store = RemoteStore(tmp_path, seed=7, fault_plan=plan,
+                        max_attempts=2, deadline_s=5.0)
+    manager = CheckpointManager(tmp_path, store=store)
+    policy = ResiliencePolicy(max_retries=3)
+    session = CheckpointSession(manager, "pr", every=1)
+
+    result = pagerank(
+        _engine(small_rmat, resilience=policy), iterations=8, checkpoint=session
+    )
+    # 1. the run completed without stalling, bit-identical to baseline
+    assert np.array_equal(result.ranks, baseline.ranks)
+    # 2. the outage forced at least one spill
+    assert store.events, "the outage never degraded a save"
+
+    # 3. heal, then `checkpoints sync` drains the journal completely
+    rounds = 0
+    while store.pending_spill() or store._pending_deletes:
+        store.net.advance(30.0)
+        store.sync()
+        rounds += 1
+        assert rounds < 30, "sync failed to converge after the heal"
+    assert store.spill.names() == []
+
+    # 4. every generation is durable in the remote and verifies clean
+    steps = store.steps("pr")
+    assert steps, "no generations reached the remote"
+    assert all(store.verify("pr", s) for s in steps)
+
+    # 5. a *fresh* store instance over the same remote resumes the run
+    #    bit-identically from the synced checkpoints
+    store2 = RemoteStore(tmp_path, seed=11)
+    manager2 = CheckpointManager(tmp_path, store=store2)
+    resumed = pagerank(
+        _engine(small_rmat),
+        iterations=8,
+        checkpoint=CheckpointSession(manager2, "pr", resume=True),
+    )
+    assert np.array_equal(resumed.ranks, baseline.ranks)
+
+
+KILL = {
+    "BFS": "worker_crash@2",
+    "PR": "oom@5",
+    "CC": "worker_crash@2",
+}
+
+
+@pytest.mark.faultinjection
+@pytest.mark.parametrize("code", ["BFS", "PR", "CC"])
+def test_kill_and_resume_through_remote_store_is_bit_identical(
+    tmp_path, small_rmat, small_symmetric, code
+):
+    graph = small_symmetric if code == "CC" else small_rmat
+    runs = {
+        "BFS": lambda eng, ck: bfs(eng, 0, checkpoint=ck),
+        "PR": lambda eng, ck: pagerank(eng, iterations=10, checkpoint=ck),
+        "CC": lambda eng, ck: connected_components(eng, checkpoint=ck),
+    }
+    baseline = runs[code](_engine(graph), None)
+
+    # the killed run saves through a remote with transient network faults
+    net_noise = "net_timeout@1,net_reset@4,net_throttle@7,stale_read@9"
+    store = RemoteStore(tmp_path, seed=7, fault_plan=FaultPlan.from_spec(net_noise))
+    manager = CheckpointManager(tmp_path, store=store)
+    kill = ResiliencePolicy(max_retries=0, fault_plan=FaultPlan.from_spec(KILL[code]))
+    with pytest.raises(RetryExhausted):
+        runs[code](
+            _engine(graph, resilience=kill),
+            CheckpointSession(manager, "killed"),
+        )
+    assert manager.steps("killed"), "the killed run should have checkpointed"
+
+    # resume through a fresh client (same remote), more network noise
+    store2 = RemoteStore(tmp_path, seed=13,
+                         fault_plan=FaultPlan.from_spec("net_timeout@0,stale_read@2"))
+    manager2 = CheckpointManager(tmp_path, store=store2)
+    resumed = runs[code](
+        _engine(graph),
+        CheckpointSession(manager2, "killed", resume=True),
+    )
+    for field in ("parent", "level", "ranks", "labels", "rounds", "iterations"):
+        if hasattr(baseline, field):
+            assert np.array_equal(
+                getattr(resumed, field), getattr(baseline, field)
+            ), field

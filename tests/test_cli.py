@@ -80,7 +80,7 @@ def _run_with_checkpoints(tmp_path, small_rmat, *extra):
     return ckpt
 
 
-@pytest.mark.parametrize("store", ["local", "sharded", "replicated"])
+@pytest.mark.parametrize("store", ["local", "sharded", "replicated", "remote"])
 def test_run_with_each_store_backend(tmp_path, small_rmat, store, capsys):
     ckpt = _run_with_checkpoints(tmp_path, small_rmat, "--store", store)
     assert ckpt.exists()
@@ -140,3 +140,70 @@ def test_resume_flag_requires_checkpoint_dir(tmp_path, small_rmat, capsys):
     save_npz(path, small_rmat)
     assert main(["run", "PR", "--graph", str(path), "--resume"]) != 0
     assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# remote store: spec options, the spill note, and `checkpoints sync`
+# ----------------------------------------------------------------------
+def test_bad_store_spec_is_a_typed_cli_error(tmp_path, small_rmat, capsys):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    assert main(["run", "PR", "--graph", str(path),
+                 "--checkpoint-dir", str(tmp_path / "c"),
+                 "--store", "remote:bogus=1"]) == 1
+    assert "does not accept option" in capsys.readouterr().err
+
+
+def test_run_remote_outage_spills_and_sync_drains(tmp_path, small_rmat, capsys):
+    """The end-to-end CLI pass the CI network-chaos job replays."""
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    ckpt = tmp_path / "ckpts"
+    # a dense mid-run timeout storm: saves degrade to the spill journal
+    storm = "+".join(f"net_timeout@{i}" for i in range(6, 26))
+    rc = main(["run", "PR", "--graph", str(path), "--partitions", "8",
+               "--checkpoint-dir", str(ckpt),
+               "--store", f"remote:seed=7:attempts=2:deadline=2:faults={storm}"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "spilled" in out
+    assert "checkpoints sync" in out  # the CLI points at the drain command
+
+    # the remote healed (the storm's plan is spent): sync drains everything
+    assert main(["checkpoints", "sync", "--checkpoint-dir", str(ckpt),
+                 "--store", "remote:seed=8"]) == 0
+    out = capsys.readouterr().out
+    assert "uploaded" in out and "0 still pending" in out
+
+    # and the synced checkpoints verify clean through a fresh client
+    capsys.readouterr()
+    assert main(["checkpoints", "verify", "--checkpoint-dir", str(ckpt),
+                 "--store", "remote:seed=9"]) == 0
+    assert "0 corrupt" in capsys.readouterr().out
+
+
+def test_sync_on_a_local_store_is_rejected(tmp_path, small_rmat, capsys):
+    ckpt = _run_with_checkpoints(tmp_path, small_rmat)
+    assert main(["checkpoints", "sync", "--checkpoint-dir", str(ckpt)]) == 1
+    assert "needs a remote store" in capsys.readouterr().err
+
+
+def test_sync_reports_deferred_objects_while_down(tmp_path, small_rmat, capsys):
+    from repro.resilience import RemoteStore
+    import numpy as np
+
+    # leave one generation in the spill journal of a down remote
+    down = "+".join(f"net_timeout@{i}" for i in range(40))
+    store_dir = tmp_path / "ckpts"
+    from repro.resilience import FaultPlan
+
+    store = RemoteStore(store_dir, seed=1,
+                        fault_plan=FaultPlan.from_spec(down.replace("+", ",")),
+                        max_attempts=2, deadline_s=2.0)
+    store.save("run", 1, {"x": np.arange(4)})
+    assert store.pending_spill()
+
+    # a sync against a still-down remote reports the deferral, exit 1
+    assert main(["checkpoints", "sync", "--checkpoint-dir", str(store_dir),
+                 "--store", f"remote:seed=1:attempts=2:deadline=2:faults={down}"]) == 1
+    assert "deferred" in capsys.readouterr().out
