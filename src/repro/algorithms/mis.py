@@ -19,7 +19,7 @@ from ..core.stats import RunStats
 from ..frontier.frontier import Frontier
 from ..graph.weights import edge_weights
 
-__all__ = ["maximal_independent_set", "MISResult", "MaxPriorityOp"]
+__all__ = ["maximal_independent_set", "MISResult", "MaxPriorityOp", "KnockOp"]
 
 UNDECIDED, IN_SET, OUT = 0, 1, 2
 
@@ -44,6 +44,30 @@ class MaxPriorityOp(EdgeOperator):
         src, dst = src[live], dst[live]
         np.maximum.at(self.best, dst, self.priority[src])
         return np.unique(dst).astype(VID_DTYPE)
+
+
+class KnockOp(EdgeOperator):
+    """Knock the winners' undecided neighbours out of contention.
+
+    The destination-indexed constant store is idempotent, so duplicate
+    destinations and partition order are both harmless.  State lives in
+    instance attributes (not closure variables) so the effect pass can
+    see — and certify — every write.
+    """
+
+    combine = "or"
+
+    def __init__(self, state: np.ndarray, out_mask: np.ndarray) -> None:
+        self.state = state
+        self.out_mask = out_mask
+
+    def cond(self, dst_ids: np.ndarray) -> np.ndarray:
+        return self.state[dst_ids] == UNDECIDED
+
+    def process_edges(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        live = (self.state[dst] == UNDECIDED) & (src != dst)
+        self.out_mask[dst[live]] = True
+        return np.unique(dst[live]).astype(VID_DTYPE)
 
 
 @dataclass(frozen=True)
@@ -76,18 +100,6 @@ def maximal_independent_set(engine: Engine, *, seed: int = 0) -> MISResult:
         # Knock out the winners' undecided neighbours.
         knock = Frontier(n, sparse=winners)
         out_mask = np.zeros(n, dtype=bool)
-
-        class _KnockOp(EdgeOperator):
-            combine = "or"
-
-            def cond(self, dst_ids: np.ndarray) -> np.ndarray:
-                return state[dst_ids] == UNDECIDED
-
-            def process_edges(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
-                live = (state[dst] == UNDECIDED) & (src != dst)
-                out_mask[dst[live]] = True
-                return np.unique(dst[live]).astype(VID_DTYPE)
-
-        engine.edge_map(knock, _KnockOp())
+        engine.edge_map(knock, KnockOp(state, out_mask))
         state[out_mask] = OUT
     return MISResult(in_set=state == IN_SET, rounds=rounds, stats=engine.reset_stats())

@@ -84,11 +84,24 @@ class AlgorithmSpec:
     #: engine plus a :class:`~repro.resilience.CheckpointSession` and
     #: supports resume-from-latest.  ``None`` for one-shot algorithms.
     run_resumable: Callable[[Engine, CheckpointSession], object] | None = None
+    #: ``"package.module:ClassName"`` paths of every
+    #: :class:`~repro.core.ops.EdgeOperator` the runner drives.  The
+    #: effect-inference pass certifies each one and folds the verdicts
+    #: into this algorithm's :class:`~repro.analysis.certificate.SafetyCertificate`.
+    operators: tuple[str, ...] = ()
 
     @property
     def supports_checkpoint(self) -> bool:
         """Whether this algorithm implements the Checkpointable protocol."""
         return self.run_resumable is not None
+
+    def certificate(self):
+        """The signed safety certificate for this algorithm (computed lazily
+        — the analysis layer imports the engine, so the import must not run
+        at registry import time)."""
+        from ..analysis.certificate import certify_algorithm
+
+        return certify_algorithm(self.code)
 
 
 ALGORITHMS: dict[str, AlgorithmSpec] = {
@@ -98,36 +111,45 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "BC", "betweenness-centrality (Brandes, single source)",
             "backward", "vertex", "vertices",
             lambda eng: betweenness(eng, default_source(eng)),
+            operators=(
+                "repro.algorithms.bc:SigmaOp",
+                "repro.algorithms.bc:DependencyOp",
+            ),
         ),
         AlgorithmSpec(
             "CC", "connected components using label propagation",
             "backward", "edge", "edges",
             lambda eng: connected_components(eng),
             run_resumable=lambda eng, ck: connected_components(eng, checkpoint=ck),
+            operators=("repro.algorithms.cc:CCOp",),
         ),
         AlgorithmSpec(
             "PR", "PageRank, power method, 10 iterations",
             "backward", "edge", "edges",
             lambda eng: pagerank(eng, iterations=10),
             run_resumable=lambda eng, ck: pagerank(eng, iterations=10, checkpoint=ck),
+            operators=("repro.algorithms.pagerank:PageRankOp",),
         ),
         AlgorithmSpec(
             "BFS", "breadth-first search",
             "backward", "vertex", "vertices",
             lambda eng: bfs(eng, default_source(eng)),
             run_resumable=lambda eng, ck: bfs(eng, default_source(eng), checkpoint=ck),
+            operators=("repro.algorithms.bfs:BFSOp",),
         ),
         AlgorithmSpec(
             "PRDelta", "PageRank forwarding delta-updates between vertices",
             "forward", "edge", "edges",
             lambda eng: pagerank_delta(eng, epsilon=1e-4),
             run_resumable=lambda eng, ck: pagerank_delta(eng, epsilon=1e-4, checkpoint=ck),
+            operators=("repro.algorithms.prdelta:PRDeltaOp",),
         ),
         AlgorithmSpec(
             "SPMV", "sparse matrix-vector multiplication (1 iteration)",
             "forward", "edge", "edges",
             lambda eng: spmv(eng),
             update_scale=1.5,
+            operators=("repro.algorithms.spmv:SPMVOp",),
         ),
         AlgorithmSpec(
             "BF", "Bellman-Ford single-source shortest path",
@@ -137,6 +159,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             run_resumable=lambda eng, ck: bellman_ford(
                 eng, default_source(eng), checkpoint=ck
             ),
+            operators=("repro.algorithms.bellman_ford:BellmanFordOp",),
         ),
         AlgorithmSpec(
             "BP", "Bayesian belief propagation, 10 iterations",
@@ -144,6 +167,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             lambda eng: belief_propagation(eng),
             update_scale=80.0,
             run_resumable=lambda eng, ck: belief_propagation(eng, checkpoint=ck),
+            operators=("repro.algorithms.bp:BPOp",),
         ),
     ]
 }

@@ -52,6 +52,9 @@ class ModuleContext:
     tree: ast.Module
     source: str
     operators: list[OperatorClass]
+    #: scratch space for rules that share an expensive analysis of the
+    #: module (the effect pass memoizes its violations here).
+    analysis_cache: dict = field(default_factory=dict)
 
     def finding(self, code: str, node: ast.AST, message: str) -> Finding:
         """A finding anchored at ``node``'s source span."""
@@ -96,6 +99,13 @@ def all_rules() -> list[Rule]:
     """Fresh instances of every registered rule, in code order."""
     from .cond import CondMaskRule
     from .determinism import NondeterminismRule
+    from .effects import (
+        EffectEscapeRule,
+        NonLowerableNumpyRule,
+        OrderCarryingReductionRule,
+        OutOfSliceWriteRule,
+        UndeclaredCombineRule,
+    )
     from .scatter import DirectScatterRule, NonCommutativeScatterRule
     from .state import MutableStateRule
 
@@ -105,11 +115,23 @@ def all_rules() -> list[Rule]:
         MutableStateRule(),
         CondMaskRule(),
         NondeterminismRule(),
+        OutOfSliceWriteRule(),
+        UndeclaredCombineRule(),
+        EffectEscapeRule(),
+        OrderCarryingReductionRule(),
+        NonLowerableNumpyRule(),
     ]
     return sorted(rules, key=lambda r: r.code)
 
 
+#: findings emitted by the lint driver itself rather than an AST rule.
+DRIVER_RULES: tuple[tuple[str, str], ...] = (
+    ("GL011", "unused '# graphlint: disable=' suppression directive"),
+)
+
+
 def rule_catalogue() -> Iterator[tuple[str, str]]:
-    """(code, summary) pairs of every registered rule."""
+    """(code, summary) pairs of every registered rule (driver rules last)."""
     for rule in all_rules():
         yield rule.code, rule.summary
+    yield from DRIVER_RULES

@@ -52,17 +52,22 @@ __all__ = [
     "shadow_check_operator",
     "check_operator_invariance",
     "check_algorithm_invariance",
+    "cross_validate_effects",
     "run_sanitizer",
     "default_graph",
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, order=True)
 class SanitizerFinding:
-    """One dynamic-check violation."""
+    """One dynamic-check violation.
+
+    Ordered (algorithm, kind, message) so reports are stable regardless
+    of check execution order.
+    """
 
     algorithm: str
-    kind: str  # "write-conflict" | "batch-variance"
+    kind: str  # "write-conflict" | "batch-variance" | "effect-divergence"
     message: str
 
     def render(self) -> str:
@@ -345,13 +350,89 @@ def _probe_op(code: str, engine: Engine) -> EdgeOperator:
     raise KeyError(f"no sanitizer probe for algorithm {code!r}")
 
 
+def cross_validate_effects(
+    code: str,
+    *,
+    edges: EdgeList | None = None,
+    num_partitions: int = 8,
+) -> list[SanitizerFinding]:
+    """The dynamic layer audits the static layer: every write the shadow
+    recorder *observes* must be covered by the effect pass's *inferred*
+    write sets, and writes the pass proved destination-sliced must land
+    inside the observing partition's ``[lo, hi)`` vertex range.
+
+    Any divergence means the certificate over-promises — a hard failure,
+    because the engine skips runtime guards on the strength of exactly
+    those inferred sets.
+    """
+    from .certificate import operator_report
+
+    edges = edges if edges is not None else default_graph()
+    store = GraphStore.build(edges, num_partitions=num_partitions)
+    # forward order so shadow batch i is exactly partition i's slice.
+    engine = Engine(
+        store,
+        EngineOptions(num_threads=4, forced_layout="coo", partition_order="forward"),
+    )
+    inner = _probe_op(code, engine)
+    report = operator_report(type(inner))
+    inferred = report.written_arrays()
+    recorder = ShadowWriteRecorder(inner)
+    engine.edge_map(Frontier.full(engine.num_vertices), recorder)
+
+    n = engine.num_vertices
+    ranges = store.coo.partition
+    findings: list[SanitizerFinding] = []
+    for batch, writes in enumerate(recorder.write_sets):
+        lo, hi = ranges.vertex_range(batch)
+        for attr in sorted(writes):
+            indices = writes[attr]
+            spaces = inferred.get(attr)
+            if spaces is None:
+                findings.append(
+                    SanitizerFinding(
+                        algorithm=code,
+                        kind="effect-divergence",
+                        message=(
+                            f"observed write to {type(inner).__name__}.{attr} "
+                            f"(partition {batch}) is absent from the inferred "
+                            "effect set"
+                        ),
+                    )
+                )
+                continue
+            array = getattr(inner, attr, None)
+            vertex_length = (
+                isinstance(array, np.ndarray)
+                and array.ndim >= 1
+                and array.shape[0] == n
+            )
+            if spaces <= {"dst"} and vertex_length:
+                out_of_slice = indices[(indices < lo) | (indices >= hi)]
+                if out_of_slice.size:
+                    findings.append(
+                        SanitizerFinding(
+                            algorithm=code,
+                            kind="effect-divergence",
+                            message=(
+                                f"inference proved {type(inner).__name__}."
+                                f"{attr} destination-sliced, but partition "
+                                f"{batch} wrote index {int(out_of_slice[0])} "
+                                f"outside its range [{lo}, {hi})"
+                            ),
+                        )
+                    )
+    return findings
+
+
 def run_sanitizer(
     codes: Sequence[str] | None = None,
     *,
     edges: EdgeList | None = None,
     num_partitions: int = 8,
 ) -> list[SanitizerFinding]:
-    """Shadow write-set + batch-invariance sweep over registered algorithms."""
+    """Shadow write-set, batch-invariance, and static-vs-dynamic effect
+    sweep over the registered algorithms, deterministically sorted."""
     edges = edges if edges is not None else default_graph()
     findings: list[SanitizerFinding] = []
     for code in codes or registry.names():
@@ -368,7 +449,12 @@ def run_sanitizer(
                 code, edges=edges, num_partitions=num_partitions
             )
         )
-    return findings
+        findings.extend(
+            cross_validate_effects(
+                code, edges=edges, num_partitions=num_partitions
+            )
+        )
+    return sorted(findings)
 
 
 # ----------------------------------------------------------------------
@@ -391,7 +477,8 @@ class LastWriterDemoOp(EdgeOperator):
         self.state = state
 
     def process_edges(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
-        self.state[src] = dst.astype(self.state.dtype)
+        # the out-of-slice write is the whole point of this demo operator
+        self.state[src] = dst.astype(self.state.dtype)  # graphlint: disable=GL006
         return np.empty(0, dtype=VID_DTYPE)
 
 

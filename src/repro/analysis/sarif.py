@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 output for graphlint findings and safety certificates.
+
+One ``run`` per invocation: the tool driver lists the full GL rule
+catalogue, each finding becomes a ``result`` with a physical location,
+and safety certificates ride along in the run's ``properties`` bag so a
+CI annotation step can surface both from a single upload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+from .findings import Finding
+from .rules import rule_catalogue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .certificate import SafetyCertificate
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "sarif_document", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF result level per rule code; unlisted codes are warnings.
+_LEVELS = {"GL011": "note"}
+
+
+def _rules_metadata() -> list[dict]:
+    out = []
+    for code, summary in rule_catalogue():
+        out.append(
+            {
+                "id": code,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {
+                    "level": _LEVELS.get(code, "warning")
+                },
+            }
+        )
+    return out
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.code,
+        "level": _LEVELS.get(finding.code, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/")
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_document(
+    findings: Iterable[Finding],
+    certificates: "dict[str, SafetyCertificate] | None" = None,
+    *,
+    tool_name: str = "graphlint",
+    tool_version: str = "1.0.0",
+) -> dict:
+    """The SARIF 2.1.0 log object for one lint/certify run."""
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "version": tool_version,
+                "informationUri": "https://example.invalid/repro/graphlint",
+                "rules": _rules_metadata(),
+            }
+        },
+        "columnKind": "unicodeCodePoints",
+        "results": [_result(f) for f in sorted(findings)],
+    }
+    if certificates is not None:
+        run["properties"] = {
+            "safetyCertificates": {
+                code: cert.to_dict()
+                for code, cert in sorted(certificates.items())
+            }
+        }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    certificates: "dict[str, SafetyCertificate] | None" = None,
+) -> str:
+    return json.dumps(sarif_document(findings, certificates), indent=2)

@@ -96,6 +96,10 @@ class Engine:
         self._edge_map_index = 0
         #: human-readable recovery/degradation history of this engine.
         self.resilience_log: list[str] = []
+        #: how many per-batch ``validated_cond`` guards actually ran vs.
+        #: were skipped because the operator is certified partition-pure.
+        self.guard_invocations = 0
+        self.guards_skipped = 0
 
     # ------------------------------------------------------------------
     @property
@@ -115,6 +119,47 @@ class Engine:
         return out
 
     # ------------------------------------------------------------------
+    # safety certificates: static proof replaces runtime guards
+    # ------------------------------------------------------------------
+    def _op_trusted(self, op: EdgeOperator) -> bool:
+        """Whether ``op``'s class is certified partition-pure (and the
+        options allow trusting that).  Cached per class by the analysis
+        layer; analysis failures degrade to the guarded path."""
+        if not self.options.trust_certificates:
+            return False
+        from ..analysis.certificate import operator_is_partition_pure
+
+        return operator_is_partition_pure(op)
+
+    def _cond(self, op: EdgeOperator, dst_ids: np.ndarray) -> np.ndarray | None:
+        """The per-batch cond guard, elided for certified operators.
+
+        For a *partition-pure* certified class the effect pass has proven
+        ``cond`` returns ``None`` or a boolean mask parallel to its
+        argument, so the dynamic dtype/shape validation is pure overhead;
+        the result is bit-identical either way."""
+        if self._op_trusted(op):
+            self.guards_skipped += 1
+            return op.cond(dst_ids)
+        self.guard_invocations += 1
+        return validated_cond(op, dst_ids)
+
+    def _require_parallel_certified(self, op: EdgeOperator) -> None:
+        """Admission control for ``options.parallel``: certified or refused."""
+        from ..analysis.certificate import operator_report
+        from ..analysis.effects import SafetyLevel
+
+        report = operator_report(type(op))
+        if report.safety is SafetyLevel.PARTITION_PURE:
+            return
+        detail = f"; {report.reasons[0]}" if report.reasons else ""
+        raise ValidationError(
+            f"parallel execution requested but {type(op).__name__} is not "
+            f"certified partition-pure (certified level: {report.level})"
+            f"{detail} — run `python -m repro certify` for the full report"
+        )
+
+    # ------------------------------------------------------------------
     # edge map
     # ------------------------------------------------------------------
     def edge_map(self, frontier: Frontier, op: EdgeOperator) -> Frontier:
@@ -124,6 +169,8 @@ class Engine:
         """
         if frontier.num_vertices != self.num_vertices:
             raise ValueError("frontier size does not match the graph")
+        if self.options.parallel:
+            self._require_parallel_certified(op)
         if frontier.is_empty:
             return Frontier.empty(self.num_vertices)
         if self.resilience is None:
@@ -178,7 +225,10 @@ class Engine:
         way the recovered phase is bit-identical to a fault-free one.
         """
         policy = self.resilience
-        blind = snapshot_blind_spots(op)
+        # A partition-pure certificate statically rules out snapshot blind
+        # spots (mutable non-array state demotes the level), so the
+        # dynamic check is only needed for uncertified operators.
+        blind = [] if self._op_trusted(op) else snapshot_blind_spots(op)
         if blind:
             raise ValidationError(
                 f"{type(op).__name__} holds mutable non-array state "
@@ -433,7 +483,7 @@ class Engine:
         csr = self.store.csr
         src, dst = gather_adjacency(csr.index, csr.neighbors, active)
         examined = int(dst.size)
-        cond = validated_cond(op, dst)
+        cond = self._cond(op, dst)
         if cond is not None:
             src, dst = src[cond], dst[cond]
         activated = op.process_edges(src, dst)
@@ -475,7 +525,7 @@ class Engine:
                 if lo == hi:
                     return PartitionRecord.empty(i, lo, hi)
                 candidates = np.arange(lo, hi, dtype=VID_DTYPE)
-                cond = validated_cond(op, candidates)
+                cond = self._cond(op, candidates)
                 if cond is not None:
                     candidates = candidates[cond]
                 dst, src = gather_adjacency(csc.index, csc.neighbors, candidates)
@@ -542,7 +592,7 @@ class Engine:
                 src, dst = coo.partition_edges(i)
                 examined_i = int(src.size)
                 live = bitmap[src]
-                cond = validated_cond(op, dst)
+                cond = self._cond(op, dst)
                 if cond is not None:
                     live = live & cond
                 src_live, dst_live = src[live], dst[live]
@@ -627,7 +677,7 @@ class Engine:
                 slot_keys, dst = gather_adjacency(part.index, part.neighbors, live_slots)
                 src = part.vertex_ids[slot_keys]
                 examined_i = int(dst.size)
-                cond = validated_cond(op, dst)
+                cond = self._cond(op, dst)
                 if cond is not None:
                     src, dst = src[cond], dst[cond]
                 acts = op.process_edges(src, dst)

@@ -52,6 +52,20 @@ class EngineOptions:
         uses it to prove (or refute) that insensitivity bit-for-bit.
     partition_order_seed:
         Seed of the ``"shuffle"`` permutation.
+    trust_certificates:
+        Let the engine consult the static safety certificates
+        (:mod:`repro.analysis.certificate`) and skip the per-batch
+        ``validated_cond`` mask guard and the supervised snapshot
+        blind-spot check for operators certified *partition-pure*.  The
+        certified result is bit-identical to the guarded path; set this
+        to ``False`` to force every runtime guard back on (e.g. when
+        developing a new operator).
+    parallel:
+        Request the parallel execution backend.  The backend itself is
+        future work; today this flag enforces its admission contract —
+        the engine refuses (``ValidationError``) to run an operator that
+        is not certified *partition-pure*, so uncertified operators can
+        never silently reach a concurrent schedule.
     """
 
     thresholds: DensityThresholds = field(default_factory=DensityThresholds)
@@ -61,6 +75,8 @@ class EngineOptions:
     sparse_layout: str = "csr"
     partition_order: str = "forward"
     partition_order_seed: int = 0
+    trust_certificates: bool = True
+    parallel: bool = False
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:

@@ -1,0 +1,81 @@
+"""Known-bad operator corpus for the effect-inference rules (GL006-010).
+
+Each class violates exactly one of the new rules; the tests assert the
+full file yields exactly one finding per code.  Never imported at
+runtime — the linter parses this file as text.
+"""
+
+import numpy as np
+
+from repro.core.ops import EdgeOperator
+
+SCRATCH = np.zeros(64)
+
+
+class HelperScatterOp(EdgeOperator):
+    """GL006: the out-of-slice scatter hides inside a helper method."""
+
+    combine = "add"
+
+    def __init__(self, hits):
+        self.hits = hits
+
+    def process_edges(self, src, dst):
+        self._bump(src)
+        return dst
+
+    def _bump(self, ids):
+        np.add.at(self.hits, ids, 1)
+
+
+class AliasNoCombineOp(EdgeOperator):
+    """GL007: reads rank[src] while scattering rank[dst], combine undeclared."""
+
+    combine = None
+
+    def __init__(self, rank):
+        self.rank = rank
+
+    def process_edges(self, src, dst):
+        np.add.at(self.rank, dst, self.rank[src])
+        return dst
+
+
+class ClosureEscapeOp(EdgeOperator):
+    """GL008: writes a module-global array no snapshot or journal can see."""
+
+    combine = "or"
+
+    def process_edges(self, src, dst):
+        SCRATCH[dst] = 1.0
+        return dst
+
+
+class PrefixSumOp(EdgeOperator):
+    """GL009: a prefix scan threads batch order into the scattered values."""
+
+    combine = "add"
+
+    def __init__(self, contrib, total):
+        self.contrib = contrib
+        self.total = total
+
+    def process_edges(self, src, dst):
+        acc = np.cumsum(self.contrib[src])
+        np.add.at(self.total, dst, acc)
+        return dst
+
+
+class VectorizeOp(EdgeOperator):
+    """GL010: np.vectorize is outside the backend-lowerable numpy subset."""
+
+    combine = "add"
+
+    def __init__(self, weights, out):
+        self.weights = weights
+        self.out = out
+
+    def process_edges(self, src, dst):
+        f = np.vectorize(lambda x: x * 0.5)
+        np.add.at(self.out, dst, f(self.weights[src]))
+        return dst

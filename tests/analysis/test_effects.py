@@ -1,0 +1,245 @@
+"""Effect inference and parallel-safety certification.
+
+Covers the interprocedural analyzer (`repro.analysis.effects`), the new
+GL006-GL010 rules on the known-bad corpus, the signed certificates of
+every registered algorithm, the static-vs-dynamic write-set
+cross-validation, and the engine's certified guard-skipping fast path.
+"""
+
+import ast
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.algorithms import registry
+from repro.algorithms.pagerank import pagerank
+from repro.analysis.certificate import (
+    SafetyCertificate,
+    certify_algorithm,
+    certify_all,
+    operator_is_partition_pure,
+    operator_report,
+)
+from repro.analysis.effects import SafetyLevel, analyze_operator
+from repro.analysis.lint import lint_file, lint_paths
+from repro.analysis.sanitizer import (
+    ShadowWriteRecorder,
+    _probe_op,
+    cross_validate_effects,
+    default_graph,
+    run_sanitizer,
+)
+from repro.core.engine import Engine
+from repro.core.ops import EdgeOperator
+from repro.core.options import EngineOptions
+from repro.errors import ValidationError
+from repro.frontier.frontier import Frontier
+from repro.layout.store import GraphStore
+
+CORPUS = Path(__file__).parent / "corpus"
+EFFECT_CODES = ["GL006", "GL007", "GL008", "GL009", "GL010"]
+EDGES = default_graph()
+
+
+class UncertifiableOp(EdgeOperator):
+    """Writes through source ids: provably not partition-pure (GL006
+    territory), used to exercise the parallel-admission refusal."""
+
+    combine = "add"
+
+    def __init__(self, hits):
+        self.hits = hits
+
+    def process_edges(self, src, dst):
+        np.add.at(self.hits, src, 1)
+        return dst
+
+
+def _analyze(src, class_name, **kw):
+    return analyze_operator(ast.parse(src), class_name, **kw)
+
+
+# ----------------------------------------------------------------------
+# corpus: each effect rule fires exactly once, shipped code stays clean
+# ----------------------------------------------------------------------
+def test_each_effect_rule_fires_exactly_once_on_corpus():
+    findings = lint_file(CORPUS / "bad_effects.py")
+    assert sorted(f.code for f in findings) == EFFECT_CODES
+
+
+def test_effect_rules_add_nothing_to_the_legacy_corpus():
+    findings = lint_file(CORPUS / "bad_operators.py")
+    assert not [f for f in findings if f.code in EFFECT_CODES]
+
+
+def test_shipped_package_is_clean_under_effect_rules():
+    from repro.analysis.lint import default_root
+
+    assert [f for f in lint_paths([default_root()]) if f.code in EFFECT_CODES] == []
+
+
+# ----------------------------------------------------------------------
+# analyzer verdicts on inline operators
+# ----------------------------------------------------------------------
+def test_commutative_dst_scatter_is_partition_pure():
+    src = """
+import numpy as np
+from repro.core.ops import EdgeOperator
+
+class AccumOp(EdgeOperator):
+    combine = "add"
+    def __init__(self, accum, contrib):
+        self.accum = accum
+        self.contrib = contrib
+    def process_edges(self, src, dst):
+        np.add.at(self.accum, dst, self.contrib[src])
+        return dst
+"""
+    summary = _analyze(src, "AccumOp", declared_combine="add")
+    assert summary.level is SafetyLevel.PARTITION_PURE
+    assert summary.violations == []
+    assert summary.written_arrays() == {"accum": {"dst"}}
+
+
+def test_interprocedural_helper_write_is_attributed_to_the_operator():
+    src = (CORPUS / "bad_effects.py").read_text(encoding="utf-8")
+    summary = _analyze(src, "HelperScatterOp", declared_combine="add")
+    assert summary.level is SafetyLevel.UNSAFE
+    assert [v.code for v in summary.violations] == ["GL006"]
+    # the write happened inside _bump(); the summary still sees it.
+    assert "hits" in summary.written_arrays()
+
+
+def test_aliased_scatter_without_declared_combine_is_order_sensitive():
+    src = (CORPUS / "bad_effects.py").read_text(encoding="utf-8")
+    summary = _analyze(src, "AliasNoCombineOp", declared_combine=None)
+    assert summary.level is SafetyLevel.ORDER_SENSITIVE
+    assert [v.code for v in summary.violations] == ["GL007"]
+
+
+def test_global_escape_is_unsafe():
+    src = (CORPUS / "bad_effects.py").read_text(encoding="utf-8")
+    summary = _analyze(src, "ClosureEscapeOp", declared_combine="or")
+    assert summary.level is SafetyLevel.UNSAFE
+    assert [v.code for v in summary.violations] == ["GL008"]
+
+
+def test_safety_lattice_join_is_worst_of_both():
+    assert SafetyLevel.PARTITION_PURE.join(SafetyLevel.UNSAFE) is SafetyLevel.UNSAFE
+    assert SafetyLevel.ORDER_SENSITIVE.join(SafetyLevel.UNKNOWN) is SafetyLevel.UNKNOWN
+    assert (
+        SafetyLevel.PARTITION_PURE.join(SafetyLevel.PARTITION_PURE)
+        is SafetyLevel.PARTITION_PURE
+    )
+
+
+# ----------------------------------------------------------------------
+# certificates over the registered algorithm matrix
+# ----------------------------------------------------------------------
+def test_every_registered_algorithm_gets_a_certificate():
+    certs = certify_all()
+    assert sorted(certs) == sorted(registry.names())
+    for cert in certs.values():
+        assert isinstance(cert, SafetyCertificate)
+        assert cert.operators  # every spec names its operators
+        assert cert.verify()
+
+
+@pytest.mark.parametrize("code", registry.names())
+def test_registered_algorithms_certify_partition_pure(code):
+    cert = certify_algorithm(code)
+    assert cert.level == SafetyLevel.PARTITION_PURE.value, cert.operators
+
+
+@pytest.mark.parametrize("code", ["BFS", "PR", "CC"])
+def test_flagship_algorithms_are_partition_pure(code):
+    assert certify_algorithm(code).partition_pure
+
+
+def test_tampered_certificate_fails_verification():
+    cert = certify_algorithm("PR")
+    assert cert.verify()
+    forged = dataclasses.replace(cert, level=SafetyLevel.UNSAFE.value)
+    assert not forged.verify()
+    unsigned = dataclasses.replace(cert, signature="")
+    assert not unsigned.verify()
+
+
+def test_runtime_purity_check_matches_certificates(engine):
+    op = _probe_op("PR", engine)
+    assert operator_is_partition_pure(op)
+    assert not operator_is_partition_pure(
+        UncertifiableOp(np.zeros(engine.num_vertices))
+    )
+
+
+# ----------------------------------------------------------------------
+# static inferred write sets contain the dynamic observed write sets
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("code", registry.names())
+def test_observed_writes_contained_in_inferred_effects(code):
+    assert cross_validate_effects(code, edges=EDGES) == []
+
+
+def test_observed_write_attrs_subset_of_report(engine):
+    inner = _probe_op("PR", engine)
+    inferred = operator_report(type(inner)).written_arrays()
+    recorder = ShadowWriteRecorder(inner)
+    engine.edge_map(Frontier.full(engine.num_vertices), recorder)
+    observed = {attr for ws in recorder.write_sets for attr in ws}
+    assert observed
+    assert observed <= set(inferred)
+
+
+def test_full_sanitizer_including_cross_validation_is_clean():
+    assert run_sanitizer() == []
+
+
+# ----------------------------------------------------------------------
+# engine: certified operators skip the per-batch guards, bit-identically
+# ----------------------------------------------------------------------
+def _pr_engine(trust):
+    store = GraphStore.build(EDGES, num_partitions=8)
+    return Engine(
+        store,
+        EngineOptions(num_threads=4, trust_certificates=trust),
+    )
+
+
+def test_certified_operator_skips_guards_and_matches_guarded_path():
+    trusted = _pr_engine(True)
+    guarded = _pr_engine(False)
+    r_trusted = pagerank(trusted, iterations=5)
+    r_guarded = pagerank(guarded, iterations=5)
+    np.testing.assert_array_equal(r_trusted.ranks, r_guarded.ranks)
+
+    assert trusted.guards_skipped > 0
+    assert trusted.guard_invocations == 0
+    assert guarded.guards_skipped == 0
+    assert guarded.guard_invocations > 0
+
+
+def test_uncertified_operator_still_pays_the_guard():
+    engine = _pr_engine(True)
+    op = UncertifiableOp(np.zeros(engine.num_vertices))
+    engine.edge_map(Frontier.full(engine.num_vertices), op)
+    assert engine.guard_invocations > 0
+    assert engine.guards_skipped == 0
+
+
+def test_parallel_requires_a_partition_pure_certificate():
+    store = GraphStore.build(EDGES, num_partitions=8)
+    engine = Engine(store, EngineOptions(num_threads=4, parallel=True))
+    op = UncertifiableOp(np.zeros(engine.num_vertices))
+    with pytest.raises(ValidationError, match="certif"):
+        engine.edge_map(Frontier.full(engine.num_vertices), op)
+
+
+def test_parallel_admits_certified_operators(engine):
+    store = GraphStore.build(EDGES, num_partitions=8)
+    eng = Engine(store, EngineOptions(num_threads=4, parallel=True))
+    inner = _probe_op("PR", eng)
+    out = eng.edge_map(Frontier.full(eng.num_vertices), inner)
+    assert out is not None

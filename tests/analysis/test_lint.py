@@ -2,11 +2,22 @@
 
 from pathlib import Path
 
-from repro.analysis.lint import default_root, lint_file, lint_paths, lint_source
+from repro.analysis.lint import (
+    apply_baseline,
+    default_root,
+    lint_file,
+    lint_paths,
+    lint_paths_report,
+    lint_source,
+    lint_source_report,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.rules import rule_catalogue
 
 CORPUS = Path(__file__).parent / "corpus"
 ALL_CODES = ["GL001", "GL002", "GL003", "GL004", "GL005"]
+CATALOGUE_CODES = [f"GL{n:03d}" for n in range(1, 12)]
 
 
 def _codes(findings):
@@ -18,7 +29,7 @@ def _codes(findings):
 # ----------------------------------------------------------------------
 def test_catalogue_matches_expected_codes():
     catalogue = dict(rule_catalogue())
-    assert sorted(catalogue) == ALL_CODES
+    assert sorted(catalogue) == CATALOGUE_CODES
     assert all(summary for summary in catalogue.values())
 
 
@@ -205,7 +216,74 @@ t = time.time()  # graphlint: disable=GL001
 
 
 # ----------------------------------------------------------------------
+# unused suppressions and report partitioning
+# ----------------------------------------------------------------------
+def test_unused_suppression_reported_as_gl011():
+    src = """
+import time
+
+t = time.perf_counter()  # graphlint: disable=GL005
+"""
+    report = lint_source_report(src)
+    assert report.findings == []
+    assert _codes(report.unused) == ["GL011"]
+    assert "GL005" in report.unused[0].message
+
+
+def test_used_suppression_is_not_gl011():
+    src = """
+import time
+
+t = time.time()  # graphlint: disable=GL005
+"""
+    report = lint_source_report(src)
+    assert report.findings == []
+    assert report.unused == []
+    assert _codes(report.suppressed) == ["GL005"]
+
+
+def test_directive_inside_string_literal_is_not_a_directive():
+    src = '''
+DOC = """
+example:  # graphlint: disable=GL005
+"""
+'''
+    report = lint_source_report(src)
+    assert report.unused == []
+
+
+def test_findings_are_sorted_deterministically():
+    report = lint_paths_report([CORPUS])
+    for bucket in (report.findings, report.suppressed, report.unused):
+        keys = [(f.path, f.line, f.col, f.code) for f in bucket]
+        assert keys == sorted(keys)
+    everything = report.all_findings()
+    keys = [(f.path, f.line, f.col, f.code) for f in everything]
+    assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# baseline files
+# ----------------------------------------------------------------------
+def test_baseline_round_trip_silences_exactly_the_recorded_findings(tmp_path):
+    report = lint_paths_report([CORPUS])
+    findings = report.all_findings()
+    assert findings
+    path = tmp_path / "baseline.json"
+    write_baseline(findings, path)
+    baseline = load_baseline(path)
+    assert apply_baseline(findings, baseline) == []
+    # one extra finding of a baselined code still surfaces
+    extra = findings[0]
+    assert apply_baseline(findings + [extra], baseline) == [extra]
+
+
+# ----------------------------------------------------------------------
 # the shipped package must be clean (the CI gate's contract)
 # ----------------------------------------------------------------------
 def test_shipped_package_has_zero_findings():
     assert lint_paths([default_root()]) == []
+
+
+def test_shipped_package_has_no_stale_suppressions():
+    assert lint_paths_report([default_root()]).unused == []
