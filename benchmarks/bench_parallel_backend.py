@@ -1,0 +1,207 @@
+"""Perf benchmark: the shared-memory process backend vs the serial path.
+
+Standalone (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_backend.py \
+        [--out benchmarks/out/BENCH_parallel.json] \
+        [--baseline benchmarks/BENCH_parallel_baseline.json] \
+        [--workers N]
+
+Runs fig9/fig10-shaped workloads — dense iterative algorithms whose
+edge-map phases the engine partitions (PR's 10 power iterations and
+BP's message rounds) on a skewed R-MAT graph — once on the serial
+backend and once on ``process:workers=N``, asserting *bit-identical*
+results before timing is even reported.  Writes ``BENCH_parallel.json``
+rows ``{name, vertices, edges, partitions, workers, cores, serial_s,
+process_s, speedup}``.
+
+Gates:
+
+* **absolute floor** — on a machine with >= 2 cores the best row must
+  reach ``SPEEDUP_FLOOR`` (the PR's 1.5x acceptance bar).  A single-core
+  machine cannot speed anything up by forking, so there the floor is
+  reported but not enforced (the CI job runs on multi-core runners,
+  where it is).
+* **ratio gate** — against a committed baseline *recorded on a
+  comparable machine* (>= 2 cores when this run has >= 2 cores), fail
+  when a row's speedup drops below ``baseline / REGRESSION_RATIO``.
+  Speedup ratios are machine-*count*-dependent, so the gate skips
+  baselines recorded with a different core regime instead of
+  misfiring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import registry  # noqa: E402
+from repro.core import Engine, EngineOptions  # noqa: E402
+from repro.graph.generators import rmat  # noqa: E402
+from repro.layout.store import GraphStore  # noqa: E402
+
+#: acceptance bar on multi-core machines: the best workload's wall-clock
+#: speedup over serial.
+SPEEDUP_FLOOR = 1.5
+#: regression gate: fail when a row's speedup halves vs the baseline.
+REGRESSION_RATIO = 2.0
+
+#: (row name, algorithm code, rmat scale, avg degree, partitions).
+#: Dense iterative workloads — every PR/BP edge map runs the partitioned
+#: COO kernel, which is exactly what the backend parallelises.
+WORKLOADS = [
+    ("PR_rmat15", "PR", 15, 16.0, 64),
+    ("BP_rmat14", "BP", 14, 16.0, 48),
+]
+
+
+def _cores() -> int:
+    return os.cpu_count() or 1
+
+
+def timed(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def bench_workload(
+    name: str, code: str, scale: int, degree: float, partitions: int, workers: int
+) -> dict:
+    spec = registry.get(code)
+    edges = rmat(scale, degree, seed=11)
+    store = GraphStore.build(
+        edges, num_partitions=partitions, balance=spec.balance
+    )
+
+    serial_engine = Engine(store, EngineOptions(num_threads=workers))
+    serial_s, serial_result = timed(lambda: spec.run(serial_engine))
+
+    process_engine = Engine(
+        store,
+        EngineOptions(num_threads=workers, backend=f"process:workers={workers}"),
+    )
+    try:
+        # warm the pool and the cached layout segments outside the timed
+        # region: pool start-up is a once-per-engine cost, not a
+        # per-phase one, and the serial path has no equivalent.
+        spec.run(process_engine)
+        process_s, process_result = timed(lambda: spec.run(process_engine))
+        stats = process_engine.backend_stats
+        if stats.fallbacks:
+            raise SystemExit(f"{name}: backend fell back to serial during the run")
+        serial_arrays = registry.result_arrays(serial_result)
+        process_arrays = registry.result_arrays(process_result)
+        for key in serial_arrays:
+            if not np.array_equal(serial_arrays[key], process_arrays[key]):
+                raise SystemExit(f"{name}: field {key!r} not bit-identical")
+    finally:
+        process_engine.close()
+
+    return {
+        "name": name,
+        "vertices": int(edges.num_vertices),
+        "edges": int(edges.num_edges),
+        "partitions": int(partitions),
+        "workers": int(workers),
+        "cores": _cores(),
+        "serial_s": round(serial_s, 4),
+        "process_s": round(process_s, 4),
+        "speedup": round(serial_s / process_s, 2) if process_s > 0 else float("inf"),
+    }
+
+
+def check_baseline(rows: list[dict], baseline_path: Path) -> list[str]:
+    baseline_doc = json.loads(baseline_path.read_text())
+    baseline = {r["name"]: r for r in baseline_doc["rows"]}
+    errors = []
+    multicore = _cores() >= 2
+    for row in rows:
+        base = baseline.get(row["name"])
+        if base is None:
+            continue
+        if multicore != (base.get("cores", 1) >= 2):
+            print(
+                f"note: {row['name']}: baseline recorded on "
+                f"{base.get('cores', 1)} core(s), this machine has "
+                f"{_cores()}; ratio gate skipped"
+            )
+            continue
+        floor = base["speedup"] / REGRESSION_RATIO
+        if row["speedup"] < floor:
+            errors.append(
+                f"{row['name']}: speedup {row['speedup']}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']}x / {REGRESSION_RATIO})"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent / "out" / "BENCH_parallel.json")
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent / "BENCH_parallel_baseline.json"),
+        help="baseline JSON for the regression gate ('' disables)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=min(4, max(2, _cores())),
+        help="process-backend worker count (default: min(4, cores), >= 2)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"cores: {_cores()}; workers: {args.workers}")
+    rows = [
+        bench_workload(name, code, scale, degree, partitions, args.workers)
+        for name, code, scale, degree, partitions in WORKLOADS
+    ]
+    for row in rows:
+        print(
+            f"{row['name']:>10}: |V|={row['vertices']} |E|={row['edges']} "
+            f"serial {row['serial_s']:.3f}s  process {row['process_s']:.3f}s  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    failures = []
+    best = max(row["speedup"] for row in rows)
+    if _cores() >= 2:
+        if best < SPEEDUP_FLOOR:
+            failures.append(
+                f"best speedup {best}x is below the {SPEEDUP_FLOOR}x "
+                f"acceptance floor ({_cores()} cores)"
+            )
+    else:
+        print(
+            f"note: single-core machine; the {SPEEDUP_FLOOR}x floor is "
+            f"reported but not enforced (best: {best}x)"
+        )
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            failures.extend(check_baseline(rows, baseline_path))
+        else:
+            print(f"note: no baseline at {baseline_path}; gate skipped")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("parallel backend bench ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

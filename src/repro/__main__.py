@@ -8,6 +8,14 @@ Subcommands
 
         python -m repro run PR --dataset twitter --scale 0.5 --partitions 384
         python -m repro run BFS --graph my_edges.txt --threads 16
+        python -m repro run PR --backend process:workers=4
+
+    ``--backend`` selects the execution backend (see
+    :mod:`repro.core.backend`): ``serial`` (default) or
+    ``process[:workers=N][:chunk=auto|N][:strict=0|1]`` — a persistent
+    worker pool over shared memory running partition slices
+    concurrently, bit-identical to serial.  Defaults to the
+    ``REPRO_BACKEND`` environment variable when set.
 
 ``experiment``
     Regenerate one of the paper's tables/figures and print its table::
@@ -113,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=0.5)
     run.add_argument("--partitions", type=int, default=96)
     run.add_argument("--threads", type=int, default=48)
+    run.add_argument("--backend", default=None,
+                     help="execution backend spec: serial | "
+                          "process[:workers=N][:chunk=auto|N][:strict=0|1] "
+                          "(default: $REPRO_BACKEND or serial)")
     run.add_argument("--edge-order", default="source",
                      choices=("source", "destination", "hilbert"))
     run.add_argument("--checkpoint-dir",
@@ -261,7 +273,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     build_s = time.perf_counter() - t0
     resilience = _build_resilience(args)
-    engine = Engine(store, EngineOptions(num_threads=args.threads), resilience=resilience)
+    opt_kwargs = {"num_threads": args.threads}
+    if args.backend is not None:
+        opt_kwargs["backend"] = args.backend
+    engine = Engine(store, EngineOptions(**opt_kwargs), resilience=resilience)
 
     session = None
     if args.checkpoint_dir:
@@ -292,6 +307,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         result = spec.run(engine)
     run_s = time.perf_counter() - t0
+    backend_stats = engine.backend_stats
+    engine.close()
     for line in engine.resilience_log:
         print(f"resilience: {line}")
     if session is not None:
@@ -312,6 +329,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sim_s = model.run_time_seconds(stats, profile, update_scale=spec.update_scale)
 
     print(f"store build: {build_s:.2f}s wall; run: {run_s:.2f}s wall")
+    if backend_stats.kind != "serial" or backend_stats.fallbacks:
+        print(f"backend {backend_stats.spec}: "
+              f"workers {backend_stats.workers_spawned}; "
+              f"batches {backend_stats.batches_dispatched}; "
+              f"partitions {backend_stats.partitions_dispatched}; "
+              f"shm {backend_stats.shm_bytes_mapped / 1024:.1f} KiB; "
+              f"fallbacks {backend_stats.fallbacks}")
     print(f"edge maps: {stats.num_iterations}; "
           f"layouts {stats.layout_histogram()}; "
           f"density {{ {', '.join(f'{k.value}: {v}' for k, v in stats.density_histogram().items())} }}")

@@ -123,6 +123,7 @@ def build_engine(
     store: GraphStore | None = None,
     resilience=None,
     journal=None,
+    backend: str | None = None,
 ) -> Engine:
     """Construct the engine a system would run ``edges`` with.
 
@@ -132,7 +133,9 @@ def build_engine(
     ``resilience``/``journal`` attach the supervision runtime — the
     baseline configurations run under the same fault-recovery machinery
     as GraphGrind-v2, so the Figure 9 comparison holds under injected
-    faults too.
+    faults too.  ``backend`` selects the execution backend spec
+    (``None`` keeps :class:`EngineOptions`' default, i.e.
+    ``$REPRO_BACKEND`` or serial).
     """
     p = config.num_partitions or default_partitions
     p = min(p, max(edges.num_vertices, 1))
@@ -141,11 +144,15 @@ def build_engine(
         store = GraphStore.build(
             edges, num_partitions=p, balance=balance, edge_order=edge_order
         )
+    opt_kwargs = {}
+    if backend is not None:
+        opt_kwargs["backend"] = backend
     options = EngineOptions(
         thresholds=config.thresholds,
         num_threads=num_threads,
         numa_aware=config.numa_aware,
         sparse_layout=config.sparse_layout,
+        **opt_kwargs,
     )
     return Engine(store, options, resilience=resilience, journal=journal)
 

@@ -119,6 +119,10 @@ class Workbench:
     #: process-wide factory installed by the bench conftest, letting CI
     #: re-run the whole figure suite under injected faults.
     resilience_factory: object = None
+    #: execution-backend spec for every engine this workbench builds
+    #: (``None`` keeps :class:`EngineOptions`' default, i.e.
+    #: ``$REPRO_BACKEND`` or serial).
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.cache is None:
@@ -171,10 +175,14 @@ class Workbench:
             balance=spec.balance,
             edge_order=edge_order,
         )
+        opt_kwargs = {}
+        if self.backend is not None:
+            opt_kwargs["backend"] = self.backend
         options = EngineOptions(
             num_threads=self.num_threads,
             forced_layout=forced_layout,
             numa_aware=numa_aware,
+            **opt_kwargs,
         )
         engine = Engine(store, options, resilience=self._resilience())
         result = spec.run(engine)

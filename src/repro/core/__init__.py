@@ -1,10 +1,18 @@
 """The GraphGrind-v2 engine: Ligra-compatible edge/vertex map with Algorithm 2."""
 
+from .backend import (
+    BACKEND_KINDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    make_backend,
+    parse_backend_spec,
+)
 from .engine import Engine
 from .ops import EdgeOperator
 from .options import EngineOptions
 from .reference import reference_edge_map
-from .stats import EdgeMapStats, RunStats, VertexMapStats
+from .stats import BackendStats, EdgeMapStats, RunStats, VertexMapStats
 
 __all__ = [
     "Engine",
@@ -12,6 +20,13 @@ __all__ = [
     "EdgeOperator",
     "EdgeMapStats",
     "VertexMapStats",
+    "BackendStats",
     "RunStats",
     "reference_edge_map",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "BACKEND_KINDS",
+    "make_backend",
+    "parse_backend_spec",
 ]

@@ -33,17 +33,31 @@ ladder — halving the partition count and re-deriving the layouts —
 instead of dying.  An optional watchdog turns (simulated) partition
 stalls into the same ladder: retry → requeue on another scheduler slot →
 degrade.
+
+The partitioned kernels hand each phase's partition tasks to a
+pluggable :class:`~repro.core.backend.ExecutionBackend`
+(``options.backend``): ``"serial"`` runs the tasks through the
+supervised inline loop exactly as before, while ``"process"`` executes
+them concurrently on a persistent shared-memory worker pool — admitted
+only for operators certified partition-pure, and bit-identical to
+serial because both paths run the same kernel functions
+(:mod:`repro.core.kernels`) over the same disjoint destination ranges.
+A backend failure (dead pool, shm exhaustion) falls back to the serial
+path and is logged in ``resilience_log``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import logging
+import weakref
 import zlib
 
 import numpy as np
 
 from .._types import VID_DTYPE
 from ..errors import (
+    BackendError,
     CapacityError,
     RetryExhausted,
     StallTimeout,
@@ -55,10 +69,19 @@ from ..frontier.frontier import Frontier
 from ..layout.pcsr import PartitionedCSR
 from ..layout.store import GraphStore
 from ..resilience.journal import PartitionRecord, PhaseJournal
+from .backend import (
+    BatchRequest,
+    ExecutionBackend,
+    PartitionTask,
+    SerialBackend,
+    backend_options,
+    make_backend,
+)
 from .gather import gather_adjacency
+from .kernels import run_coo_partition, run_csc_partition, run_pcsr_partition
 from .ops import EdgeOperator, snapshot_blind_spots, validated_cond
 from .options import EngineOptions
-from .stats import EdgeMapStats, RunStats, VertexMapStats
+from .stats import BackendStats, EdgeMapStats, RunStats, VertexMapStats
 
 __all__ = ["Engine"]
 
@@ -100,6 +123,25 @@ class Engine:
         #: were skipped because the operator is certified partition-pure.
         self.guard_invocations = 0
         self.guards_skipped = 0
+        # -- execution backend -----------------------------------------
+        # The spec is validated by EngineOptions; resolve its kind and
+        # typed options once.  The backend object itself (and for
+        # "process" its worker pool) is built lazily on the first
+        # partitioned dispatch, so engines that never leave the sparse
+        # CSR path never fork.
+        self._backend_kind, self._backend_conf = backend_options(self.options.backend)
+        #: cumulative backend counters (engine lifetime; snapshots are
+        #: attached to each detached :class:`RunStats`).
+        self.backend_stats = BackendStats(
+            spec=self.options.backend, kind=self._backend_kind
+        )
+        self._backend_obj: ExecutionBackend | None = None
+        self._serial_backend = SerialBackend()
+        self._backend_finalizer = None
+        #: whether the current edge-map phase may run concurrently
+        #: (certified operator + non-serial backend); set at admission.
+        self._phase_concurrent = False
+        self._uncertified_noted: set[type] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -115,8 +157,66 @@ class Engine:
     def reset_stats(self) -> RunStats:
         """Detach and return accumulated statistics, starting a fresh record."""
         out = self.stats
+        out.backend = dataclasses.replace(self.backend_stats)
         self.stats = RunStats()
         return out
+
+    # ------------------------------------------------------------------
+    # execution backend lifecycle
+    # ------------------------------------------------------------------
+    def _execution_backend(self) -> ExecutionBackend:
+        if self._backend_obj is None:
+            self._backend_obj = make_backend(
+                self.options.backend, stats=self.backend_stats
+            )
+            # Engines are created freely throughout the test suite and
+            # the bench harness; tie the pool's lifetime to the engine's
+            # so forgotten engines cannot strand worker processes.
+            self._backend_finalizer = weakref.finalize(
+                self, self._backend_obj.close
+            )
+        return self._backend_obj
+
+    def close(self) -> None:
+        """Shut down the execution backend (worker pool, shm segments)."""
+        if self._backend_finalizer is not None:
+            self._backend_finalizer.detach()
+            self._backend_finalizer = None
+        if self._backend_obj is not None:
+            self._backend_obj.close()
+            self._backend_obj = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _note_backend_fallback(self, exc: BackendError) -> None:
+        """Demote a failed concurrent backend to the serial path.
+
+        Workers only ever write shared-memory *copies* of the operator
+        state, so the in-process arrays are untouched and the serial
+        re-run of the batch is bit-identical to a healthy concurrent
+        one — a dead pool degrades instead of failing, exactly like the
+        resilience ladder's other recoveries.
+        """
+        self.backend_stats.fallbacks += 1
+        self.backend_stats.kind = "serial"
+        message = f"backend {self.options.backend!r} failed ({exc}); falling back to serial"
+        self.resilience_log.append(message)
+        log.warning("%s", message)
+        if self._backend_finalizer is not None:
+            self._backend_finalizer.detach()
+            self._backend_finalizer = None
+        if self._backend_obj is not None:
+            try:
+                self._backend_obj.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        self._backend_obj = self._serial_backend
+        self._backend_kind = "serial"
+        self._phase_concurrent = False
 
     # ------------------------------------------------------------------
     # safety certificates: static proof replaces runtime guards
@@ -145,7 +245,7 @@ class Engine:
         return validated_cond(op, dst_ids)
 
     def _require_parallel_certified(self, op: EdgeOperator) -> None:
-        """Admission control for ``options.parallel``: certified or refused."""
+        """Admission control for concurrent backends: certified or refused."""
         from ..analysis.certificate import operator_report
         from ..analysis.effects import SafetyLevel
 
@@ -154,10 +254,43 @@ class Engine:
             return
         detail = f"; {report.reasons[0]}" if report.reasons else ""
         raise ValidationError(
-            f"parallel execution requested but {type(op).__name__} is not "
-            f"certified partition-pure (certified level: {report.level})"
-            f"{detail} — run `python -m repro certify` for the full report"
+            f"backend {self.options.backend!r} requested but {type(op).__name__} "
+            f"is not certified partition-pure (certified level: {report.level})"
+            f"{detail} — run `python -m repro certify` for the full report, or "
+            f"use a ':strict=0' backend spec to run uncertified operators "
+            f"on the serial path"
         )
+
+    def _admit_backend(self, op: EdgeOperator) -> None:
+        """Decide whether this phase may run on the concurrent backend.
+
+        Strict (default) non-serial backends *refuse* uncertified
+        operators; ``strict=0`` quietly keeps them on the serial path
+        (logged once per class) so whole test/CI matrices can run under
+        ``REPRO_BACKEND=process:...`` without certifying every ad-hoc
+        operator.
+        """
+        self._phase_concurrent = False
+        if self._backend_kind == "serial":
+            return
+        if self._backend_conf.get("strict", True):
+            self._require_parallel_certified(op)
+            self._phase_concurrent = True
+            return
+        from ..analysis.certificate import operator_is_partition_pure
+
+        if operator_is_partition_pure(op):
+            self._phase_concurrent = True
+        elif type(op) not in self._uncertified_noted:
+            self._uncertified_noted.add(type(op))
+            self.resilience_log.append(
+                f"backend {self.options.backend!r}: {type(op).__name__} is not "
+                "certified partition-pure; running it on the serial path"
+            )
+            log.info(
+                "backend %r: %s not certified; running serially",
+                self.options.backend, type(op).__name__,
+            )
 
     # ------------------------------------------------------------------
     # edge map
@@ -169,8 +302,7 @@ class Engine:
         """
         if frontier.num_vertices != self.num_vertices:
             raise ValueError("frontier size does not match the graph")
-        if self.options.parallel:
-            self._require_parallel_certified(op)
+        self._admit_backend(op)
         if frontier.is_empty:
             return Frontier.empty(self.num_vertices)
         if self.resilience is None:
@@ -305,6 +437,10 @@ class Engine:
             edge_order=self.store.coo.edge_order,
         )
         self._pcsr = None
+        # The old store's layout arrays are obsolete; drop any cached
+        # shared-memory copies so workers re-attach the rebuilt ones.
+        if self._backend_obj is not None:
+            self._backend_obj.discard_layouts()
         # Partition ids changed: journal records and watchdog overrun
         # history no longer address the same units of work.
         if self.journal is not None:
@@ -475,6 +611,113 @@ class Engine:
         rng = np.random.default_rng(self.options.partition_order_seed)
         return rng.permutation(p).tolist()
 
+    # ------------------------------------------------------------------
+    # partition-batch dispatch through the execution backend
+    # ------------------------------------------------------------------
+    def _run_partition_batch(
+        self,
+        op: EdgeOperator,
+        kernel: str,
+        tasks: list[PartitionTask],
+        shared: dict[str, np.ndarray],
+        transient: dict[str, np.ndarray],
+        meta: dict,
+        inline_body,
+    ) -> list[PartitionRecord]:
+        """Run one phase's partition tasks through the configured backend.
+
+        ``inline_body(task)`` is the kernel's serial partition body; the
+        serial path wraps it in :meth:`_run_partition` (journal replay,
+        watchdog, slice rollback, fault hooks) exactly as the inline
+        loops always did.  A concurrent backend receives the same tasks
+        as a :class:`BatchRequest`; any :class:`BackendError` demotes
+        the engine to the serial path and re-runs the batch there —
+        correct because workers never touch the in-process arrays.
+        """
+        if self._phase_concurrent and len(tasks) > 1:
+            backend = self._execution_backend()
+            if backend.concurrent:
+                try:
+                    return self._run_batch_concurrent(
+                        backend, op, kernel, tasks, shared, transient, meta
+                    )
+                except BackendError as exc:
+                    self._note_backend_fallback(exc)
+
+        def run_inline(task: PartitionTask) -> PartitionRecord:
+            return self._run_partition(
+                task.partition, op, task.lo, task.hi, lambda: inline_body(task)
+            )
+
+        request = BatchRequest(
+            kernel=kernel, op=op, tasks=tasks, run_inline=run_inline
+        )
+        return self._serial_backend.run_partitions(request)
+
+    def _run_batch_concurrent(
+        self,
+        backend,
+        op: EdgeOperator,
+        kernel: str,
+        tasks: list[PartitionTask],
+        shared: dict[str, np.ndarray],
+        transient: dict[str, np.ndarray],
+        meta: dict,
+    ) -> list[PartitionRecord]:
+        """One concurrent batch, with the supervision the serial loop has.
+
+        Journal replay and commit, watchdog deadlines and fault-plan
+        hooks all run *parent-side*: replayable partitions are filtered
+        out before dispatch, per-partition hooks fire before the batch
+        is submitted (the watchdog stays on simulated time — real
+        worker wall-clock would break recovery determinism), and fresh
+        records are committed with digests computed after the merge.
+        Worker-side guard activity is folded into the engine's guard
+        counters from each record's ``cond_calls``.
+        """
+        journal = self.journal if self.resilience is not None else None
+        records: dict[int, PartitionRecord] = {}
+        pending: list[PartitionTask] = []
+        for task in tasks:
+            if journal is not None:
+                rec = journal.completed(task.partition)
+                if rec is not None:
+                    if self._slice_digest(op, task.lo, task.hi) == rec.digest:
+                        journal.note_replay(task.partition)
+                        records[task.partition] = rec
+                        continue
+                    journal.drop(task.partition)
+            pending.append(task)
+        for task in pending:
+            if journal is not None:
+                journal.note_execution(task.partition)
+            self._check_watchdog(task.partition)
+            self._before_partition(task.partition)
+        if pending:
+            request = BatchRequest(
+                kernel=kernel,
+                op=op,
+                tasks=pending,
+                shared=shared,
+                transient=transient,
+                meta=meta,
+                validate=not self._op_trusted(op),
+                num_vertices=self.num_vertices,
+            )
+            trusted = self._op_trusted(op)
+            for rec in backend.run_partitions(request):
+                if trusted:
+                    self.guards_skipped += rec.cond_calls
+                else:
+                    self.guard_invocations += rec.cond_calls
+                records[rec.partition] = rec
+            if journal is not None:
+                for task in pending:
+                    rec = records[task.partition]
+                    rec.digest = self._slice_digest(op, task.lo, task.hi)
+                    journal.commit(rec)
+        return [records[task.partition] for task in tasks]
+
     # -- sparse: forward traversal of the unpartitioned CSR -------------
     def _edge_map_sparse_csr(
         self, frontier: Frontier, op: EdgeOperator, density: DensityClass
@@ -518,33 +761,25 @@ class Engine:
         examined = 0
         active_edges = 0
         scanned = 0
-        for i in self._partition_schedule(p):
-            lo, hi = ranges.vertex_range(i)
+        tasks = [
+            PartitionTask(i, *ranges.vertex_range(i))
+            for i in self._partition_schedule(p)
+        ]
 
-            def body(i=i, lo=lo, hi=hi):
-                if lo == hi:
-                    return PartitionRecord.empty(i, lo, hi)
-                candidates = np.arange(lo, hi, dtype=VID_DTYPE)
-                cond = self._cond(op, candidates)
-                if cond is not None:
-                    candidates = candidates[cond]
-                dst, src = gather_adjacency(csc.index, csc.neighbors, candidates)
-                examined_i = int(src.size)
-                live = bitmap[src]
-                src_live, dst_live = src[live], dst[live]
-                acts = op.process_edges(src_live, dst_live)
-                return PartitionRecord(
-                    partition=i,
-                    lo=lo,
-                    hi=hi,
-                    activated=acts,
-                    examined=examined_i,
-                    touched=int(np.unique(dst_live).size),
-                    active_edges=int(src_live.size),
-                    scanned=hi - lo,
-                )
+        def body(task: PartitionTask) -> PartitionRecord:
+            return run_csc_partition(
+                op, self._cond, csc.index, csc.neighbors, bitmap,
+                task.partition, task.lo, task.hi,
+            )
 
-            rec = self._run_partition(i, op, lo, hi, body)
+        for rec in self._run_partition_batch(
+            op, "csc", tasks,
+            shared={"index": csc.index, "neighbors": csc.neighbors},
+            transient={"bitmap": bitmap},
+            meta={},
+            inline_body=body,
+        ):
+            i = rec.partition
             part_examined[i] = rec.examined
             part_touched[i] = rec.touched
             examined += rec.examined
@@ -585,29 +820,32 @@ class Engine:
         part_touched = np.zeros(p, dtype=np.int64)
         active_edges = 0
         ranges = coo.partition
-        for i in self._partition_schedule(p):
-            lo, hi = ranges.vertex_range(i)
+        tasks = [
+            PartitionTask(
+                i,
+                *ranges.vertex_range(i),
+                extra=(
+                    int(coo.partition_index[i]),
+                    int(coo.partition_index[i + 1]),
+                ),
+            )
+            for i in self._partition_schedule(p)
+        ]
 
-            def body(i=i, lo=lo, hi=hi):
-                src, dst = coo.partition_edges(i)
-                examined_i = int(src.size)
-                live = bitmap[src]
-                cond = self._cond(op, dst)
-                if cond is not None:
-                    live = live & cond
-                src_live, dst_live = src[live], dst[live]
-                acts = op.process_edges(src_live, dst_live)
-                return PartitionRecord(
-                    partition=i,
-                    lo=lo,
-                    hi=hi,
-                    activated=acts,
-                    examined=examined_i,
-                    touched=int(np.unique(dst_live).size),
-                    active_edges=int(src_live.size),
-                )
+        def body(task: PartitionTask) -> PartitionRecord:
+            src, dst = coo.partition_edges(task.partition)
+            return run_coo_partition(
+                op, self._cond, src, dst, bitmap, task.partition, task.lo, task.hi
+            )
 
-            rec = self._run_partition(i, op, lo, hi, body)
+        for rec in self._run_partition_batch(
+            op, "coo", tasks,
+            shared={"src": coo.src, "dst": coo.dst},
+            transient={"bitmap": bitmap},
+            meta={},
+            inline_body=body,
+        ):
+            i = rec.partition
             part_examined[i] = rec.examined
             part_touched[i] = rec.touched
             active_edges += rec.active_edges
@@ -651,48 +889,35 @@ class Engine:
         scanned = 0
         active_ids = frontier.as_sparse()
         ranges = pcsr.partition
-        for i in self._partition_schedule(p):
-            lo, hi = ranges.vertex_range(i)
+        tasks = [
+            PartitionTask(i, *ranges.vertex_range(i))
+            for i in self._partition_schedule(p)
+        ]
+        shared: dict[str, np.ndarray] = {}
+        num_stored: dict[int, int] = {}
+        for task in tasks:
+            part = pcsr.parts[task.partition]
+            shared[f"index:{task.partition}"] = part.index
+            shared[f"neighbors:{task.partition}"] = part.neighbors
+            shared[f"vertex_ids:{task.partition}"] = part.vertex_ids
+            num_stored[task.partition] = int(part.num_stored_vertices)
 
-            def body(i=i, lo=lo, hi=hi):
-                part = pcsr.parts[i]
-                if active_ids.size * 8 < part.num_stored_vertices:
-                    # Sparse frontier: binary-search each active vertex in
-                    # this partition's stored slots instead of scanning
-                    # them all.
-                    pos = np.searchsorted(part.vertex_ids, active_ids)
-                    valid = pos < part.vertex_ids.size
-                    hits = part.vertex_ids[pos[valid]] == active_ids[valid]
-                    live_slots = pos[valid][hits]
-                    scanned_i = int(active_ids.size)
-                else:
-                    # Dense frontier: every stored (replicated) vertex is
-                    # visited to test activity — the §II.F work inflation.
-                    live_slots = np.flatnonzero(bitmap[part.vertex_ids])
-                    scanned_i = part.num_stored_vertices
-                if live_slots.size == 0:
-                    rec = PartitionRecord.empty(i, lo, hi)
-                    rec.scanned = scanned_i
-                    return rec
-                slot_keys, dst = gather_adjacency(part.index, part.neighbors, live_slots)
-                src = part.vertex_ids[slot_keys]
-                examined_i = int(dst.size)
-                cond = self._cond(op, dst)
-                if cond is not None:
-                    src, dst = src[cond], dst[cond]
-                acts = op.process_edges(src, dst)
-                return PartitionRecord(
-                    partition=i,
-                    lo=lo,
-                    hi=hi,
-                    activated=acts,
-                    examined=examined_i,
-                    touched=int(np.unique(dst).size),
-                    active_edges=int(src.size),
-                    scanned=scanned_i,
-                )
+        def body(task: PartitionTask) -> PartitionRecord:
+            part = pcsr.parts[task.partition]
+            return run_pcsr_partition(
+                op, self._cond, part.index, part.neighbors, part.vertex_ids,
+                int(part.num_stored_vertices), bitmap, active_ids,
+                task.partition, task.lo, task.hi,
+            )
 
-            rec = self._run_partition(i, op, lo, hi, body)
+        for rec in self._run_partition_batch(
+            op, "pcsr", tasks,
+            shared=shared,
+            transient={"bitmap": bitmap},
+            meta={"active_ids": active_ids, "num_stored": num_stored},
+            inline_body=body,
+        ):
+            i = rec.partition
             part_examined[i] = rec.examined
             part_touched[i] = rec.touched
             examined += rec.examined

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 
 from ..frontier.density import DensityThresholds
@@ -13,6 +15,18 @@ FORCEABLE_LAYOUTS = ("pcsr", "csc", "coo")
 
 #: Orders the partitioned kernels may visit partitions in.
 PARTITION_ORDERS = ("forward", "reverse", "shuffle")
+
+
+def _default_backend() -> str:
+    """The backend spec used when none is given.
+
+    Reads ``REPRO_BACKEND`` so CI can run the whole test matrix through
+    a different backend (mirroring how ``REPRO_STORE`` selects the
+    checkpoint store) without touching every ``EngineOptions`` call
+    site.  Resolved per instantiation, so tests can monkeypatch the
+    environment.
+    """
+    return os.environ.get("REPRO_BACKEND", "serial")
 
 
 @dataclass(frozen=True)
@@ -59,13 +73,27 @@ class EngineOptions:
         blind-spot check for operators certified *partition-pure*.  The
         certified result is bit-identical to the guarded path; set this
         to ``False`` to force every runtime guard back on (e.g. when
-        developing a new operator).
+        developing a new operator).  The process backend honours it too:
+        untrusted operators run ``validated_cond`` inside the workers.
+    backend:
+        Execution backend spec (see
+        :func:`repro.core.backend.parse_backend_spec`): ``"serial"``
+        (default — the in-process reference path) or
+        ``"process[:workers=N][:chunk=auto|N][:strict=0|1][:start=fork|spawn]"``
+        — a persistent worker pool over shared-memory arrays running the
+        partitioned kernels' disjoint partition slices concurrently,
+        bit-identical to serial.  Any non-serial backend enforces the
+        admission contract: operators must be certified *partition-pure*
+        (``strict=1``, the default, refuses others with a
+        :class:`~repro.errors.ValidationError`; ``strict=0`` runs them
+        on the serial path instead).  Ill-formed specs raise
+        :class:`~repro.errors.ValidationError` here.  Defaults to the
+        ``REPRO_BACKEND`` environment variable when set.
     parallel:
-        Request the parallel execution backend.  The backend itself is
-        future work; today this flag enforces its admission contract —
-        the engine refuses (``ValidationError``) to run an operator that
-        is not certified *partition-pure*, so uncertified operators can
-        never silently reach a concurrent schedule.
+        Deprecated boolean precursor of ``backend``.  Passing ``True``
+        maps to ``backend="process"`` (with a :class:`DeprecationWarning`);
+        passing ``False`` keeps the configured backend.  Use ``backend``
+        directly.
     """
 
     thresholds: DensityThresholds = field(default_factory=DensityThresholds)
@@ -76,7 +104,8 @@ class EngineOptions:
     partition_order: str = "forward"
     partition_order_seed: int = 0
     trust_certificates: bool = True
-    parallel: bool = False
+    backend: str = field(default_factory=_default_backend)
+    parallel: bool | None = None
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
@@ -95,3 +124,17 @@ class EngineOptions:
                 f"partition_order must be one of {PARTITION_ORDERS}, "
                 f"got {self.partition_order!r}"
             )
+        from .backend import backend_options, parse_backend_spec
+
+        if self.parallel is not None:
+            warnings.warn(
+                "EngineOptions.parallel is deprecated; pass "
+                "backend='process' (or 'serial') instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.parallel and parse_backend_spec(self.backend)[0] == "serial":
+                object.__setattr__(self, "backend", "process")
+        # Typed validation of the spec (raises ValidationError, a
+        # ValueError subclass, keeping this constructor's contract).
+        backend_options(self.backend)

@@ -15,7 +15,37 @@ import numpy as np
 
 from ..frontier.density import DensityClass
 
-__all__ = ["EdgeMapStats", "VertexMapStats", "RunStats"]
+__all__ = ["EdgeMapStats", "VertexMapStats", "BackendStats", "RunStats"]
+
+
+@dataclass
+class BackendStats:
+    """Cumulative counters of one engine's execution backend.
+
+    Mutable and engine-lifetime (unlike the per-phase stats): the worker
+    pool, the shared-memory layout cache, and any fallback to serial all
+    outlive individual ``edge_map`` calls.  :meth:`Engine.reset_stats
+    <repro.core.engine.Engine.reset_stats>` attaches a point-in-time
+    copy to the detached :class:`RunStats`.
+    """
+
+    #: the ``EngineOptions.backend`` spec this engine was built with.
+    spec: str = "serial"
+    #: backend kind currently executing partition batches ("serial"
+    #: also after a fallback demoted a dead process pool).
+    kind: str = "serial"
+    #: worker processes the pool was started with (0 until first dispatch).
+    workers_spawned: int = 0
+    #: partition batches handed to the concurrent backend.
+    batches_dispatched: int = 0
+    #: partition tasks executed out-of-process.
+    partitions_dispatched: int = 0
+    #: bytes of shared memory mapped for layouts, frontiers and operator
+    #: state (layout segments are counted once — they are cached across
+    #: phases).
+    shm_bytes_mapped: int = 0
+    #: times a backend failure demoted execution to the serial path.
+    fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -64,6 +94,9 @@ class RunStats:
 
     edge_maps: list[EdgeMapStats] = field(default_factory=list)
     vertex_maps: list[VertexMapStats] = field(default_factory=list)
+    #: snapshot of the engine's backend counters at detach time; ``None``
+    #: until the engine attaches one in ``reset_stats``.
+    backend: BackendStats | None = None
 
     # ------------------------------------------------------------------
     @property

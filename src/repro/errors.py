@@ -117,6 +117,20 @@ class WorkerFailure(ReproError):
     """
 
 
+class BackendError(WorkerFailure):
+    """The parallel execution backend failed beneath the engine.
+
+    A dead worker pool (``BrokenProcessPool``), a shared-memory segment
+    that could not be created or attached, a certificate that failed
+    re-verification at worker attach time, or operator state that cannot
+    cross the process boundary.  Subclasses :class:`WorkerFailure`
+    because the failure is recoverable by construction: the workers only
+    ever write shared-memory *copies* of the operator state, so the
+    engine's in-process arrays are untouched and the batch re-runs on
+    the :class:`~repro.core.backend.SerialBackend` bit-identically.
+    """
+
+
 class StallTimeout(WorkerFailure):
     """A partition task overran its watchdog deadline.
 

@@ -56,6 +56,12 @@ class PartitionRecord:
     digest:
         CRC32 over the ``[lo, hi)`` slice of every vertex-length state
         array *after* the task completed; verified before a replay.
+    cond_calls:
+        How many times the task invoked the per-batch cond guard.  The
+        process backend's workers run the guard out-of-process, so the
+        parent engine folds this count into its ``guards_skipped`` /
+        ``guard_invocations`` counters; the serial path counts the guard
+        directly and ignores this field.
     """
 
     partition: int
@@ -67,6 +73,7 @@ class PartitionRecord:
     active_edges: int = 0
     scanned: int = 0
     digest: int = 0
+    cond_calls: int = 0
 
     @classmethod
     def empty(cls, partition: int, lo: int, hi: int) -> "PartitionRecord":

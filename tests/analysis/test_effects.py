@@ -53,7 +53,7 @@ class UncertifiableOp(EdgeOperator):
         self.hits = hits
 
     def process_edges(self, src, dst):
-        np.add.at(self.hits, src, 1)
+        np.add.at(self.hits, src, 1)  # graphlint: disable=GL006
         return dst
 
 
@@ -231,15 +231,27 @@ def test_uncertified_operator_still_pays_the_guard():
 
 def test_parallel_requires_a_partition_pure_certificate():
     store = GraphStore.build(EDGES, num_partitions=8)
-    engine = Engine(store, EngineOptions(num_threads=4, parallel=True))
+    engine = Engine(store, EngineOptions(num_threads=4, backend="process:workers=2"))
     op = UncertifiableOp(np.zeros(engine.num_vertices))
     with pytest.raises(ValidationError, match="certif"):
         engine.edge_map(Frontier.full(engine.num_vertices), op)
+    engine.close()
 
 
 def test_parallel_admits_certified_operators(engine):
     store = GraphStore.build(EDGES, num_partitions=8)
-    eng = Engine(store, EngineOptions(num_threads=4, parallel=True))
+    eng = Engine(store, EngineOptions(num_threads=4, backend="process:workers=2"))
     inner = _probe_op("PR", eng)
     out = eng.edge_map(Frontier.full(eng.num_vertices), inner)
     assert out is not None
+    eng.close()
+
+
+def test_deprecated_parallel_flag_maps_to_process_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    with pytest.warns(DeprecationWarning, match="parallel is deprecated"):
+        opts = EngineOptions(num_threads=4, parallel=True)
+    assert opts.backend == "process"
+    with pytest.warns(DeprecationWarning):
+        opts = EngineOptions(num_threads=4, parallel=False)
+    assert opts.backend == "serial"

@@ -1,0 +1,80 @@
+"""Property: the process backend is bit-identical to serial, always.
+
+Samples (algorithm, worker count, partition order) and asserts every
+result array matches the serial reference exactly — the paper's
+partitioned execution model says any schedule of the disjoint partition
+slices commits the same state, and the shared-memory backend must not
+weaken that to "approximately".
+
+One module-scoped store and one pool per worker count keep the suite
+fast: the pool is reused across examples (that reuse is itself part of
+the property — stale cached segments would show up as divergence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import registry
+from repro.analysis.sanitizer import default_graph
+from repro.core import Engine, EngineOptions
+from repro.layout.store import GraphStore
+
+_STORE = GraphStore.build(default_graph(), num_partitions=8)
+_SERIAL: dict[str, dict[str, np.ndarray]] = {}
+_ENGINES: dict[tuple[int, str], Engine] = {}
+
+
+def _serial_results(code: str) -> dict[str, np.ndarray]:
+    if code not in _SERIAL:
+        spec = registry.get(code)
+        engine = Engine(_STORE, EngineOptions(num_threads=4))
+        _SERIAL[code] = registry.result_arrays(spec.run(engine))
+    return _SERIAL[code]
+
+
+def _pool_engine(workers: int, order: str) -> Engine:
+    key = (workers, order)
+    if key not in _ENGINES:
+        _ENGINES[key] = Engine(
+            _STORE,
+            EngineOptions(
+                num_threads=4,
+                backend=f"process:workers={workers}",
+                partition_order=order,
+            ),
+        )
+    return _ENGINES[key]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_pools():
+    yield
+    for engine in _ENGINES.values():
+        engine.close()
+    _ENGINES.clear()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    code=st.sampled_from(sorted(registry.names())),
+    workers=st.sampled_from([1, 2, 4]),
+    order=st.sampled_from(["forward", "reverse", "shuffle"]),
+)
+def test_process_backend_is_bit_identical_to_serial(code, workers, order):
+    engine = _pool_engine(workers, order)
+    fallbacks_before = engine.backend_stats.fallbacks
+    spec = registry.get(code)
+    concurrent = registry.result_arrays(spec.run(engine))
+    serial = _serial_results(code)
+    assert serial.keys() == concurrent.keys()
+    for key in serial:
+        np.testing.assert_array_equal(
+            serial[key], concurrent[key],
+            err_msg=f"{code} (workers={workers}, order={order}): "
+                    f"field {key!r} diverged from serial",
+        )
+    assert engine.backend_stats.fallbacks == fallbacks_before
