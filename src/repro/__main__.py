@@ -17,6 +17,18 @@ Subcommands
     concurrently, bit-identical to serial.  Defaults to the
     ``REPRO_BACKEND`` environment variable when set.
 
+``grid``
+    Preprocess an edge list into an out-of-core P×P grid of CRC-framed
+    block files, or inspect/verify an existing grid directory::
+
+        python -m repro grid preprocess grids/tw --dataset twitter --stripes 8
+        python -m repro grid verify grids/tw
+        python -m repro run BFS --dataset twitter --grid grids/tw --memory-budget 64K
+
+    ``run --memory-budget SIZE`` (without ``--grid``) instead lets the
+    supervisor degrade to grid execution automatically when the in-RAM
+    three-copy layout exceeds the budget.
+
 ``experiment``
     Regenerate one of the paper's tables/figures and print its table::
 
@@ -150,6 +162,39 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="enforce per-partition deadlines of GRACE x the cost "
                           "model's predicted partition time (default grace 2.0; "
                           "enables the resilience supervisor)")
+    run.add_argument("--memory-budget", default=None, metavar="SIZE",
+                     help="resident-byte budget, e.g. '8192', '64K', '1.5G'; "
+                          "a layout over budget degrades to out-of-core grid "
+                          "execution (enables the resilience supervisor)")
+    run.add_argument("--spill-dir", default=None, metavar="DIR",
+                     help="directory for the spilled grid (default: a "
+                          "self-cleaning temporary directory; enables the "
+                          "resilience supervisor)")
+    run.add_argument("--grid", default=None, metavar="DIR",
+                     help="stream a grid preprocessed with 'grid preprocess' "
+                          "instead of traversing the in-RAM layouts")
+    run.add_argument("--grid-stripes", type=int, default=None, metavar="P",
+                     help="grid granularity when spilling (default: derived "
+                          "from --memory-budget)")
+
+    grid = sub.add_parser(
+        "grid", help="preprocess / inspect an out-of-core edge grid"
+    )
+    grid.add_argument("action", choices=("preprocess", "info", "verify"))
+    grid.add_argument("directory", help="the grid directory")
+    grid.add_argument("--dataset", default="twitter", choices=datasets.names())
+    grid.add_argument("--graph",
+                      help="edge-list file (.npz or text) instead of --dataset")
+    grid.add_argument("--scale", type=float, default=0.5)
+    grid.add_argument("--stripes", type=int, default=None, metavar="P",
+                      help="grid granularity (default: derived from "
+                           "--memory-budget, else 4)")
+    grid.add_argument("--memory-budget", default=None, metavar="SIZE",
+                      help="budget the granularity is derived from, "
+                           "e.g. '64K', '1.5G'")
+    grid.add_argument("--fault-plan", default=None,
+                      help="inject write faults while preprocessing, "
+                           "e.g. 'disk_full@0,torn_block@3'")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -238,7 +283,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _build_resilience(args: argparse.Namespace):
     """ResiliencePolicy from the CLI flags, or None when none were given."""
-    if args.fault_plan is None and args.max_retries is None and args.watchdog is None:
+    if (
+        args.fault_plan is None
+        and args.max_retries is None
+        and args.watchdog is None
+        and args.memory_budget is None
+        and args.spill_dir is None
+    ):
         return None
     from .resilience import FaultPlan, ResiliencePolicy, Watchdog
 
@@ -248,7 +299,14 @@ def _build_resilience(args: argparse.Namespace):
         raise ValidationError(str(exc)) from exc
     max_retries = args.max_retries if args.max_retries is not None else 3
     watchdog = Watchdog(grace=args.watchdog) if args.watchdog is not None else None
-    return ResiliencePolicy(max_retries=max_retries, fault_plan=plan, watchdog=watchdog)
+    return ResiliencePolicy(
+        max_retries=max_retries,
+        fault_plan=plan,
+        watchdog=watchdog,
+        memory_budget=args.memory_budget,
+        spill_dir=args.spill_dir,
+        grid_stripes=args.grid_stripes,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -277,6 +335,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.backend is not None:
         opt_kwargs["backend"] = args.backend
     engine = Engine(store, EngineOptions(**opt_kwargs), resilience=resilience)
+
+    if args.grid:
+        from .core.budget import parse_memory_budget
+        from .layout.grid import GridStore
+
+        budget = (
+            parse_memory_budget(args.memory_budget) if args.memory_budget else None
+        )
+        engine.attach_grid(GridStore.open(
+            args.grid,
+            budget=budget,
+            fault_plan=resilience.fault_plan if resilience else None,
+        ))
 
     session = None
     if args.checkpoint_dir:
@@ -311,6 +382,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine.close()
     for line in engine.resilience_log:
         print(f"resilience: {line}")
+    grid = engine.grid
+    if grid is not None:
+        print(f"grid: {grid.num_stripes}x{grid.num_stripes} blocks, "
+              f"{grid.stats.summary()}")
+        budget = grid.budget
+        if budget.limit_bytes is not None:
+            print(f"grid: resident high-water {budget.high_water_bytes} B "
+                  f"of {budget.limit_bytes} B budget "
+                  f"({budget.admissions} admissions, {budget.evictions} evictions)")
+        for line in grid.events:
+            print(f"grid: {line}")
     if session is not None:
         store_backend = session.manager.store
         for line in getattr(store_backend, "events", []):
@@ -400,6 +482,80 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
             print(f"{name}: pruned {len(dropped)} generation(s), "
                   f"kept {len(manager.steps(name))}")
         return 0
+    raise AssertionError("unreachable")
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    """Preprocess an edge list into an on-disk grid, or inspect one."""
+    from .layout.grid import GridStore, choose_grid_stripes, preprocess_grid
+
+    if args.action == "preprocess":
+        if args.graph:
+            path = str(Path(args.graph).resolve())
+            loader = (
+                graph_io.load_npz if args.graph.endswith(".npz")
+                else graph_io.load_text
+            )
+            edges = loader(args.graph)
+            source = {"kind": "file", "path": path}
+        else:
+            edges = datasets.load(args.dataset, args.scale)
+            source = {
+                "kind": "dataset", "name": args.dataset, "scale": args.scale,
+            }
+        if args.stripes is not None:
+            stripes = args.stripes
+        else:
+            from .core.budget import parse_memory_budget
+
+            budget = (
+                parse_memory_budget(args.memory_budget)
+                if args.memory_budget else None
+            )
+            stripes = choose_grid_stripes(
+                edges.num_vertices, edges.num_edges, budget
+            )
+        plan = None
+        if args.fault_plan:
+            from .resilience import FaultPlan
+
+            try:
+                plan = FaultPlan.from_spec(args.fault_plan)
+            except ValueError as exc:
+                raise ValidationError(str(exc)) from exc
+        events: list[str] = []
+        manifest = preprocess_grid(
+            edges, args.directory, stripes,
+            fault_plan=plan, source=source, events=events,
+        )
+        for line in events:
+            print(f"grid: {line}")
+        total = sum(entry["bytes"] for entry in manifest["blocks"])
+        print(f"preprocessed |V|={edges.num_vertices} |E|={edges.num_edges} "
+              f"into {stripes}x{stripes} grid: "
+              f"{len(manifest['blocks'])} non-empty block(s), "
+              f"{total / 1024:.1f} KiB in {args.directory}")
+        return 0
+
+    grid = GridStore.open(args.directory)
+    if args.action == "info":
+        print(repr(grid))
+        source = grid.manifest.get("source")
+        if source:
+            print(f"source: {source}")
+        for entry in grid.manifest["blocks"]:
+            print(f"  block ({entry['i']},{entry['j']}): "
+                  f"{entry['edges']} edge(s), {entry['bytes']} B, "
+                  f"crc32 {entry['crc32']:#010x}")
+        return 0
+
+    if args.action == "verify":
+        corrupt = grid.verify()
+        for i, j in corrupt:
+            print(f"block ({i},{j}): CORRUPT")
+        print(f"verify: {len(grid.manifest['blocks'])} block(s), "
+              f"{len(corrupt)} corrupt")
+        return 1 if corrupt else 0
     raise AssertionError("unreachable")
 
 
@@ -649,6 +805,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "grid":
+            return _cmd_grid(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "checkpoints":

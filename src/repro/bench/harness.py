@@ -197,6 +197,49 @@ class Workbench:
             stats, profile, update_scale=spec.update_scale
         )
 
+    def run_grid(
+        self,
+        algo_code: str,
+        *,
+        num_partitions: int,
+        num_stripes: int | None = None,
+        memory_budget: int | None = None,
+    ) -> float:
+        """Simulated seconds of one algorithm streamed from an on-disk grid.
+
+        Builds the grid in a self-cleaning temporary directory, attaches
+        it to the engine, and prices the run through the cost model's
+        grid branch (``max(compute, I/O)``) — the out-of-core point past
+        the in-RAM capacity wall in Figure 5's sweep.
+        """
+        import tempfile
+
+        from ..layout.grid import GridStore
+
+        spec = ALGORITHMS[algo_code]
+        store = self.cache.store(
+            self.edges,
+            num_partitions=num_partitions,
+            balance=spec.balance,
+        )
+        opt_kwargs = {}
+        if self.backend is not None:
+            opt_kwargs["backend"] = self.backend
+        options = EngineOptions(num_threads=self.num_threads, **opt_kwargs)
+        engine = Engine(store, options, resilience=self._resilience())
+        with tempfile.TemporaryDirectory(prefix="repro-grid-bench-") as tmp:
+            engine.attach_grid(GridStore.build(
+                self.edges, tmp,
+                num_stripes=num_stripes, budget=memory_budget,
+            ))
+            result = spec.run(engine)
+        stats = self._stats_of(result)
+        model = CostModel(self.machine, num_threads=self.num_threads)
+        profile = self.cache.profile(store, num_threads=self.num_threads)
+        return model.run_time_seconds(
+            stats, profile, update_scale=spec.update_scale
+        )
+
     def run_system(self, system_key: str, algo_code: str, *, default_partitions: int = 384) -> float:
         """Simulated seconds of one algorithm under one comparison system."""
         config = SYSTEMS[system_key]

@@ -8,6 +8,7 @@ from .backend import (
     make_backend,
     parse_backend_spec,
 )
+from .budget import MemoryBudget, parse_memory_budget
 from .engine import Engine
 from .ops import EdgeOperator
 from .options import EngineOptions
@@ -17,6 +18,8 @@ from .stats import BackendStats, EdgeMapStats, RunStats, VertexMapStats
 __all__ = [
     "Engine",
     "EngineOptions",
+    "MemoryBudget",
+    "parse_memory_budget",
     "EdgeOperator",
     "EdgeMapStats",
     "VertexMapStats",

@@ -50,6 +50,8 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import shutil
+import tempfile
 import weakref
 import zlib
 
@@ -98,6 +100,7 @@ class Engine:
         *,
         resilience=None,
         journal: PhaseJournal | None = None,
+        grid=None,
     ) -> None:
         self.store = store
         self.options = options or EngineOptions()
@@ -105,6 +108,13 @@ class Engine:
         self._pcsr: PartitionedCSR | None = None
         #: optional :class:`~repro.resilience.ResiliencePolicy`.
         self.resilience = resilience
+        #: optional :class:`~repro.layout.grid.GridStore`; when set, every
+        #: edge-map streams the on-disk grid under its memory budget
+        #: instead of traversing the in-RAM layouts.  Attached either
+        #: explicitly (out-of-core from the start) or by the degradation
+        #: ladder's spill rung.
+        self.grid = grid
+        self._spill_finalizer = None
         #: phase journal enabling partition-granular recovery; created
         #: automatically for supervised engines, ``None`` otherwise.
         self.journal = journal
@@ -311,11 +321,26 @@ class Engine:
             return result
         return self._edge_map_supervised(frontier, op)
 
+    def attach_grid(self, grid) -> None:
+        """Switch this engine to out-of-core grid execution.
+
+        All subsequent edge-maps stream ``grid``'s blocks under its
+        memory budget instead of traversing the in-RAM layouts.
+        """
+        self.grid = grid
+        self.resilience_log.append(
+            f"grid execution attached: {grid.num_stripes}x{grid.num_stripes} "
+            f"blocks, {grid.total_bytes()} B on disk, budget "
+            f"{grid.budget.limit_bytes or 'unlimited'}"
+        )
+
     def _edge_map_dispatch(self, frontier: Frontier, op: EdgeOperator) -> Frontier:
         """One un-supervised edge-map attempt (Algorithm 2 dispatch)."""
         density = classify_frontier(
             frontier, self.store.out_degrees, self.num_edges, self.options.thresholds
         )
+        if self.grid is not None:
+            return self._edge_map_grid(frontier, op, density)
         layout = self.options.forced_layout or {
             DensityClass.SPARSE: self.options.sparse_layout,
             DensityClass.MEDIUM: "csc",
@@ -379,6 +404,7 @@ class Engine:
                 plan = self._fault_plan
                 if plan is not None:
                     plan.before_edge_map(self._edge_map_index)
+                self._assert_budget()
                 result = self._edge_map_dispatch(frontier, op)
                 self._edge_map_index += 1
                 return result
@@ -407,7 +433,7 @@ class Engine:
                 )
                 log.warning("edge-map %d faulted: %s", self._edge_map_index, exc)
                 if isinstance(exc, CapacityError):
-                    self._degrade_partitions(policy.min_partitions)
+                    self._handle_capacity(exc)
                 if attempt >= policy.max_retries:
                     raise RetryExhausted(
                         f"edge-map {self._edge_map_index} failed after "
@@ -415,6 +441,104 @@ class Engine:
                     ) from exc
                 policy.wait(attempt)
                 attempt += 1
+
+    def _assert_budget(self) -> None:
+        """Degrade to the grid when the in-RAM three-copy layout exceeds
+        the policy's memory budget.
+
+        This is how an over-budget run reaches the spill rung *before*
+        any real allocation fails.  The proactive check is not a fault,
+        so it spills directly rather than raising through the retry
+        machinery — a hard-kill policy (``max_retries=0``) still gets
+        its grid.  A no-op once the grid is attached (the grid's own
+        governor enforces the budget from then on) or when the layout
+        fits.
+        """
+        policy = self.resilience
+        budget = getattr(policy, "memory_budget", None) if policy else None
+        if budget is None or self.grid is not None:
+            return
+        from ..partition.storage import StorageModel
+
+        model = StorageModel(self.num_vertices, self.num_edges)
+        try:
+            model.assert_fits(
+                model.graphgrind_v2_bytes(), budget, what="three-copy layout"
+            )
+        except CapacityError as exc:
+            self._degrade_to_grid(exc)
+
+    def _handle_capacity(self, exc: CapacityError) -> None:
+        """Walk the capacity degradation ladder: halve, then spill.
+
+        Partition-halving shrinks bookkeeping/replication but not the
+        p-independent three-copy layout itself, so when the error's
+        structured byte accounting proves the deficit is beyond halving
+        (required bytes exceed the whole budget) the ladder jumps
+        straight to the grid spill rung.  Otherwise it halves as before,
+        spilling only once halving bottoms out — and only when the
+        policy opted in (a memory budget or spill directory is set).
+        Injected OOMs carry no byte accounting, so they always walk the
+        halving ladder first, preserving the historical behaviour.
+        """
+        policy = self.resilience
+        if self.grid is not None:
+            return  # already at the spill rung; the retry re-streams
+        spill = getattr(policy, "spill_enabled", False)
+        if spill and self._capacity_beyond_halving(exc):
+            self._degrade_to_grid(exc)
+            return
+        if not self._degrade_partitions(policy.min_partitions) and spill:
+            self._degrade_to_grid(exc)
+
+    def _capacity_beyond_halving(self, exc: CapacityError) -> bool:
+        """Whether ``exc``'s byte accounting shows halving cannot help."""
+        budget = getattr(self.resilience, "memory_budget", None)
+        return (
+            exc.required_bytes is not None
+            and budget is not None
+            and exc.required_bytes > budget
+        )
+
+    def _degrade_to_grid(self, exc: CapacityError) -> None:
+        """The ladder's final rung: spill the edge list to an on-disk grid.
+
+        Shards the store's edge list into ``policy.spill_dir`` (or a
+        self-cleaning temporary directory) and attaches the resulting
+        :class:`~repro.layout.grid.GridStore`; the supervised retry then
+        re-executes the phase by streaming blocks under the memory
+        budget.  Journal records and watchdog history address units of
+        work that no longer exist, so both are reset.
+        """
+        from ..layout.grid import GridStore
+
+        policy = self.resilience
+        spill_dir = policy.spill_dir
+        if spill_dir is None:
+            spill_dir = tempfile.mkdtemp(prefix="repro-grid-")
+            self._spill_finalizer = weakref.finalize(
+                self, shutil.rmtree, spill_dir, True
+            )
+        grid = GridStore.build(
+            self.store.edges,
+            spill_dir,
+            num_stripes=policy.grid_stripes,
+            budget=policy.memory_budget,
+            fault_plan=self._fault_plan,
+        )
+        if self.journal is not None:
+            self.journal.invalidate()
+        watchdog = getattr(policy, "watchdog", None)
+        if watchdog is not None:
+            watchdog.reset()
+        self.attach_grid(grid)
+        message = (
+            f"degraded to out-of-core grid execution "
+            f"({grid.num_stripes}x{grid.num_stripes} blocks in {spill_dir}) "
+            f"after CapacityError: {exc}"
+        )
+        self.resilience_log.append(message)
+        log.warning("%s", message)
 
     def _degrade_partitions(self, min_partitions: int) -> bool:
         """Halve the partition count and re-derive every layout.
@@ -871,6 +995,148 @@ class Engine:
             )
         )
         return nxt
+
+    # -- out-of-core: streaming traversal of the on-disk grid -----------
+    def _edge_map_grid(
+        self, frontier: Frontier, op: EdgeOperator, density: DensityClass
+    ) -> Frontier:
+        """Stream the P×P grid block-by-block under the memory budget.
+
+        Destination stripes are the write-set unit (each owns a disjoint
+        vertex range, like COO partitions); within a stripe the source
+        blocks run in ascending order, which — with each block's edges
+        sorted by source — reproduces the in-RAM COO path's edge order
+        exactly, so results are bit-identical.  Selective scheduling
+        skips blocks whose source stripe holds no active vertices
+        (GridGraph §3.3).  Recovery is block-granular: each block's
+        write set is snapshotted/rolled back individually and committed
+        blocks replay from the journal on a supervised retry.
+        """
+        grid = self.grid
+        bitmap = frontier.as_bitmap()
+        p = grid.num_stripes
+        journal = self.journal if self.resilience is not None else None
+        stripe_active = [
+            bool(bitmap[lo:hi].any())
+            for lo, hi in (grid.stripes.vertex_range(i) for i in range(p))
+        ]
+        activated_parts: list[np.ndarray] = []
+        part_examined = np.zeros(p, dtype=np.int64)
+        part_touched = np.zeros(p, dtype=np.int64)
+        active_edges = 0
+        examined = 0
+        io = {"bytes": 0, "blocks": 0}
+        for j in range(p):
+            lo, hi = grid.stripes.vertex_range(j)
+            for rec in self._run_grid_stripe(
+                j, op, bitmap, stripe_active, lo, hi, journal, io
+            ):
+                examined += rec.examined
+                active_edges += rec.active_edges
+                part_examined[j] += rec.examined
+                part_touched[j] += rec.touched
+                if rec.activated.size:
+                    activated_parts.append(rec.activated)
+        nxt = self._make_frontier(
+            np.concatenate(activated_parts) if activated_parts else np.empty(0, VID_DTYPE)
+        )
+        self.stats.edge_maps.append(
+            EdgeMapStats(
+                layout="grid",
+                direction="forward",
+                density=density,
+                frontier_size=frontier.size,
+                active_edges=active_edges,
+                examined_edges=examined,
+                scanned_vertices=0,
+                updated_vertices=nxt.size,
+                uses_atomics=False,
+                num_partitions=p,
+                partition_examined=part_examined,
+                partition_touched_vertices=part_touched,
+                io_bytes=io["bytes"],
+                io_blocks=io["blocks"],
+            )
+        )
+        return nxt
+
+    def _run_grid_stripe(
+        self, j: int, op: EdgeOperator, bitmap, stripe_active, lo: int, hi: int,
+        journal, io: dict,
+    ) -> list[PartitionRecord]:
+        """Run destination stripe ``j``'s blocks with block-granular recovery.
+
+        On a supervised retry the stripe's destination-slice digest
+        decides replayability: matching means the committed blocks'
+        writes survived intact (they replay from record and execution
+        resumes at the in-flight block); a mismatch drops the records
+        and re-executes the stripe from its current state.
+        """
+        grid = self.grid
+        if journal is not None and journal.stripe_has_blocks(j):
+            digest = journal.stripe_digest(j)
+            if digest is not None and self._slice_digest(op, lo, hi) != digest:
+                journal.drop_stripe(j)
+        records: list[PartitionRecord] = []
+        for i in range(grid.num_stripes):
+            if grid.block_edges(i, j) == 0:
+                continue
+            if not stripe_active[i]:
+                grid.stats.blocks_skipped += 1
+                continue
+            if journal is not None:
+                rec = journal.completed_block(j, i)
+                if rec is not None:
+                    journal.note_block_replay(j, i)
+                    records.append(rec)
+                    continue
+                journal.note_block_execution(j, i)
+            block = grid.read_block(i, j)
+            if block.nbytes:
+                io["bytes"] += block.nbytes
+                io["blocks"] += 1
+            self._check_grid_watchdog((i, j), block)
+            saved = self._partition_snapshot(op, lo, hi)
+            try:
+                self._before_partition(j)
+                rec = run_coo_partition(
+                    op, self._cond, block.src, block.dst, bitmap, j, lo, hi
+                )
+            except WorkerFailure:
+                self._partition_restore(op, lo, hi, saved)
+                raise
+            if journal is not None:
+                journal.commit_block(rec, j, i, self._slice_digest(op, lo, hi))
+            records.append(rec)
+        return records
+
+    def _check_grid_watchdog(self, block: tuple, read) -> None:
+        """Enforce one block read's I/O deadline over simulated time.
+
+        A ``slow_io`` fault makes the observed read time overrun; the
+        escalation raises :class:`StallTimeout`, and because the slow
+        block is already resident in the grid cache, the supervised
+        retry replays committed blocks and re-reads this one for free.
+        """
+        watchdog = getattr(self.resilience, "watchdog", None)
+        if watchdog is None or read.nbytes == 0:
+            return
+        elapsed = (
+            2.0 * watchdog.io_deadline_ns(read.nbytes)
+            if read.slow
+            else watchdog.predicted_io_ns(read.nbytes)
+        )
+        action = watchdog.observe_io(block, read.nbytes, elapsed)
+        if action is None:
+            return
+        self.resilience_log.append(
+            f"edge-map {self._edge_map_index}: watchdog tripped on grid block "
+            f"{block} read (escalation: {action})"
+        )
+        raise StallTimeout(
+            f"grid block {block} read overran its I/O deadline at edge-map "
+            f"{self._edge_map_index}"
+        )
 
     # -- forced: partitioned CSR (Figure 5 layout comparison) -----------
     def _edge_map_partitioned_csr(

@@ -79,6 +79,11 @@ class EdgeMapStats:
     #: per-partition counts of *distinct destination vertices* updated,
     #: a proxy for each chunk's random-access working set (locality model).
     partition_touched_vertices: np.ndarray | None = None
+    #: bytes streamed from disk by out-of-core grid execution (0 for
+    #: in-memory layouts); drives the cost model's I/O term.
+    io_bytes: int = 0
+    #: grid blocks read from disk during this call (cache hits excluded).
+    io_blocks: int = 0
 
 
 @dataclass(frozen=True)

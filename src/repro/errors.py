@@ -22,7 +22,43 @@ class CapacityError(ReproError):
     partitions before exhausting the machine's 256 GiB; this error models
     that wall so benchmarks can report "out of memory" points exactly as
     the paper's figures omit them.
+
+    Carries the structured quantities behind the failure so the
+    resilience supervisor and the memory-budget governor can pick a
+    degradation rung (halve partitions vs. spill to the on-disk grid)
+    without parsing the message: ``required_bytes`` (what the allocation
+    needed), ``available_bytes`` (what the machine/budget offers) and
+    ``what`` (the layout or structure that did not fit).  All three are
+    ``None`` for faults that have no byte accounting (e.g. an injected
+    OOM event).
     """
+
+    def __init__(
+        self,
+        message: str | None = None,
+        *,
+        required_bytes: int | None = None,
+        available_bytes: int | None = None,
+        what: str | None = None,
+    ) -> None:
+        if message is None:
+            gib = 1 << 30
+            message = (
+                f"{what or 'allocation'} needs "
+                f"{(required_bytes or 0) / gib:.1f} GiB but only "
+                f"{(available_bytes or 0) / gib:.1f} GiB are available"
+            )
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.available_bytes = available_bytes
+        self.what = what
+
+    @property
+    def deficit_bytes(self) -> int | None:
+        """How many bytes were missing, when both sides are known."""
+        if self.required_bytes is None or self.available_bytes is None:
+            return None
+        return max(self.required_bytes - self.available_bytes, 0)
 
 
 class ConvergenceError(ReproError):
@@ -109,6 +145,29 @@ class RemoteUnavailableError(CheckpointError):
     """
 
 
+class GridError(ReproError):
+    """An out-of-core grid store operation failed (see :mod:`repro.layout.grid`)."""
+
+
+class DiskFullError(GridError, CheckpointError):
+    """The spill device ran out of space while writing a grid block.
+
+    The preprocessor treats a single occurrence as transient (clean up
+    the partial write and retry once — freeing the torn temp file is
+    usually enough); a second failure on the same block is terminal.
+    """
+
+
+class TornBlockError(GridError, CheckpointCorruptError):
+    """A grid block failed its CRC32 check and could not be repaired.
+
+    Raised only when repair-on-read is impossible: the store has neither
+    the in-memory edge list it was built from nor a loadable ``source``
+    recorded in the preprocessing manifest.  Deterministic (the bytes on
+    disk are wrong), so the supervisor does not retry it.
+    """
+
+
 class WorkerFailure(ReproError):
     """A (simulated) worker died while executing an edge-map or partition task.
 
@@ -137,6 +196,16 @@ class StallTimeout(WorkerFailure):
     Subclasses :class:`WorkerFailure` so the engine supervisor treats a
     stalled task exactly like a crashed one: its write set is rolled
     back and only that partition is re-executed.
+    """
+
+
+class GridIOError(GridError, WorkerFailure):
+    """A (simulated) transient I/O error while reading a grid block.
+
+    Raised when the grid store's bounded in-place re-read loop exhausts
+    its attempts.  Subclasses :class:`WorkerFailure` so the engine
+    supervisor treats the failed block exactly like a crashed partition
+    task: its write set is rolled back and only that block re-executes.
     """
 
 

@@ -1,13 +1,27 @@
-"""Partitioned graph layouts and the composite three-copy store."""
+"""Partitioned graph layouts, the composite three-copy store, and the
+out-of-core on-disk grid."""
 
 from .coo import EDGE_ORDERS, PartitionedCOO
 from .pcsr import PartitionedCSR, RangedCSC
 from .store import GraphStore
+
+# Imported last: grid pulls in core.budget, whose package imports the
+# engine, which imports the layout submodules above.
+from .grid import (  # noqa: E402
+    GridStats,
+    GridStore,
+    choose_grid_stripes,
+    preprocess_grid,
+)
 
 __all__ = [
     "PartitionedCOO",
     "PartitionedCSR",
     "RangedCSC",
     "GraphStore",
+    "GridStore",
+    "GridStats",
+    "preprocess_grid",
+    "choose_grid_stripes",
     "EDGE_ORDERS",
 ]

@@ -1,0 +1,530 @@
+"""On-disk P×P edge grid for out-of-core execution (GridGraph-style).
+
+GridGraph (Zhu et al., USENIX ATC'15) answers the paper's §IV.A capacity
+wall: preprocess the edge list into a 2-level grid of P×P blocks — block
+``(i, j)`` holds the edges whose source falls in vertex stripe ``i`` and
+whose destination falls in stripe ``j`` — then stream blocks from disk
+under a user-supplied memory budget instead of holding a whole layout
+resident.  This module is that subsystem:
+
+* :func:`preprocess_grid` shards an edge list into per-block files, each
+  framed exactly like the checkpoint store's shards (magic + CRC32 +
+  length header), plus a manifest committed atomically *last* — so a
+  crash mid-preprocess leaves an invisible, uncommitted grid, never a
+  torn one.
+* :class:`GridStore` opens a committed grid and serves blocks through a
+  :class:`~repro.core.budget.MemoryBudget` governor: admitted blocks are
+  charged against the budget, least-recently-used blocks are evicted to
+  make room, and the high-water mark proves residency never exceeded the
+  budget.  Reads are CRC-verified; a torn block is *repaired on read* by
+  re-sharding it from the edge list the grid was built from (in memory,
+  or re-loaded via the ``source`` recorded in the manifest).
+* :func:`choose_grid_stripes` picks the grid granularity from the
+  budget, so a handful of blocks always fits resident ("Making Caches
+  Work for Graph Analytics" applies the same working-set sizing to the
+  LLC; here the budget plays the cache).
+
+Block payloads are deterministic: edges sorted by (source, destination)
+with numpy's stable lexsort, sources first then destinations, each as a
+contiguous ``VID_DTYPE`` array — the same src-major order the in-memory
+COO layout uses, which is what keeps streamed execution bit-identical to
+the in-RAM path.
+
+Fault injection: ``disk_full``/``torn_block`` events fire on the *Nth
+block write*, ``io_error``/``slow_io`` on the *Nth block read* (see
+:mod:`repro.resilience.faults`).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import NamedTuple
+
+import numpy as np
+
+from .._types import BYTES_PER_VID, VID_DTYPE
+from ..core.budget import MemoryBudget
+from ..errors import (
+    CheckpointError,
+    DiskFullError,
+    GridError,
+    GridIOError,
+    TornBlockError,
+    ValidationError,
+)
+from ..graph.edgelist import EdgeList
+from ..partition.vertex_partition import VertexPartition
+from ..resilience.store import _flip_last_byte, _read_framed, _write_framed
+
+__all__ = [
+    "GridStore",
+    "GridStats",
+    "BlockRead",
+    "preprocess_grid",
+    "choose_grid_stripes",
+    "GRID_MANIFEST",
+]
+
+#: the manifest file name; its presence is the grid's commit point.
+GRID_MANIFEST = "grid.mf"
+
+_BLOCK_MAGIC = b"RPRGBLK1"
+_GRID_MAGIC = b"RPRGMAN1"
+
+#: bounded in-place re-read attempts before a read error is escalated.
+_MAX_READ_ATTEMPTS = 3
+
+
+def _block_filename(i: int, j: int) -> str:
+    return f"block-{i:04d}-{j:04d}.grb"
+
+
+def choose_grid_stripes(
+    num_vertices: int,
+    num_edges: int,
+    budget_bytes: int | None = None,
+    *,
+    target_resident_blocks: int = 4,
+    max_stripes: int = 64,
+) -> int:
+    """Grid granularity P such that ~``target_resident_blocks`` blocks fit
+    the budget.
+
+    The streamed working set is a few blocks (the in-flight one plus the
+    LRU cache's recency tail), so P is the smallest stripe count making
+    ``target_resident_blocks`` average blocks — COO bytes over P² — fit
+    in ``budget_bytes``.  ``None`` (no budget, spill directory only)
+    picks a modest default granularity.
+    """
+    cap = max(1, min(max_stripes, max(num_vertices, 1)))
+    if budget_bytes is None:
+        return min(4, cap)
+    if budget_bytes <= 0:
+        raise ValidationError("budget_bytes must be positive")
+    coo_bytes = 2 * num_edges * BYTES_PER_VID
+    if coo_bytes <= 0:
+        return 1
+    stripes = int(np.ceil(np.sqrt(target_resident_blocks * coo_bytes / budget_bytes)))
+    return max(1, min(stripes, cap))
+
+
+class GridStats:
+    """Cumulative counters of one grid store's streaming activity."""
+
+    def __init__(self) -> None:
+        #: blocks actually read from disk (cache misses).
+        self.block_reads = 0
+        #: payload bytes those reads transferred.
+        self.bytes_read = 0
+        #: blocks served from the resident LRU cache.
+        self.cache_hits = 0
+        #: transient read errors recovered by the bounded re-read loop.
+        self.io_retries = 0
+        #: reads flagged slow by the fault plan (watchdog fodder).
+        self.slow_reads = 0
+        #: torn blocks repaired on read from the recorded source.
+        self.repairs = 0
+        #: block writes retried after a (simulated) full disk.
+        self.write_retries = 0
+        #: blocks skipped by selective scheduling (empty source frontier).
+        self.blocks_skipped = 0
+        #: over-budget blocks streamed through without entering the cache.
+        self.uncached_reads = 0
+
+    def summary(self) -> str:
+        return (
+            f"reads {self.block_reads} ({self.bytes_read / 1024:.1f} KiB), "
+            f"cache hits {self.cache_hits}, skipped {self.blocks_skipped}, "
+            f"repairs {self.repairs}, io retries {self.io_retries}, "
+            f"slow reads {self.slow_reads}, write retries {self.write_retries}"
+        )
+
+
+class BlockRead(NamedTuple):
+    """One block served by :meth:`GridStore.read_block`."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    #: payload bytes transferred from disk (0 on a cache hit).
+    nbytes: int
+    #: whether the fault plan flagged this read slow (watchdog input).
+    slow: bool
+
+
+def _block_payload(src: np.ndarray, dst: np.ndarray) -> bytes:
+    return (
+        np.ascontiguousarray(src, dtype=VID_DTYPE).tobytes()
+        + np.ascontiguousarray(dst, dtype=VID_DTYPE).tobytes()
+    )
+
+
+def _shard_edges(
+    edges: EdgeList, stripes: VertexPartition
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Edges sorted by (src, dst) plus each edge's (src stripe, dst stripe)."""
+    order = np.lexsort((edges.dst, edges.src))
+    src = edges.src[order]
+    dst = edges.dst[order]
+    return src, dst, stripes.partition_of(src), stripes.partition_of(dst)
+
+
+def preprocess_grid(
+    edges: EdgeList,
+    directory: str | Path,
+    num_stripes: int,
+    *,
+    fault_plan=None,
+    source: dict | None = None,
+    events: list[str] | None = None,
+) -> dict:
+    """Shard ``edges`` into a committed P×P grid under ``directory``.
+
+    Per-block files are written first (each CRC32-framed); the manifest
+    — recording stripe boundaries and every block's file, edge count,
+    byte count and payload CRC — is written last with the checkpoint
+    store's atomic tmp+fsync+replace idiom, making it the commit point.
+    ``source`` optionally records where the edges came from (a file path
+    or a dataset spec) so :class:`GridStore` can repair torn blocks on
+    read without the in-memory edge list.  Returns the manifest dict.
+    """
+    if num_stripes < 1:
+        raise ValidationError("num_stripes must be >= 1")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stripes = VertexPartition.equal_vertices(max(edges.num_vertices, 1), num_stripes)
+    src, dst, pid_src, pid_dst = _shard_edges(edges, stripes)
+    events = events if events is not None else []
+    blocks = []
+    write_index = 0
+    for i in range(num_stripes):
+        row = pid_src == i
+        for j in range(num_stripes):
+            sel = row & (pid_dst == j)
+            count = int(np.count_nonzero(sel))
+            if count == 0:
+                continue
+            payload = _block_payload(src[sel], dst[sel])
+            path = directory / _block_filename(i, j)
+            write_index = _write_block(
+                path, payload, i, j,
+                fault_plan=fault_plan, write_index=write_index, events=events,
+            )
+            blocks.append(
+                {
+                    "i": i,
+                    "j": j,
+                    "file": path.name,
+                    "edges": count,
+                    "bytes": len(payload),
+                    "crc32": zlib.crc32(payload),
+                }
+            )
+    manifest = {
+        "version": 1,
+        "num_vertices": edges.num_vertices,
+        "num_edges": edges.num_edges,
+        "num_stripes": num_stripes,
+        "boundaries": [int(b) for b in stripes.boundaries],
+        "source": source,
+        "blocks": blocks,
+    }
+    _write_framed(
+        directory / GRID_MANIFEST,
+        _GRID_MAGIC,
+        json.dumps(manifest, sort_keys=True).encode("utf-8"),
+    )
+    return manifest
+
+
+def _write_block(
+    path: Path,
+    payload: bytes,
+    i: int,
+    j: int,
+    *,
+    fault_plan,
+    write_index: int,
+    events: list[str],
+) -> int:
+    """Write one framed block, surviving one injected full-disk event.
+
+    Returns the advanced write index (each attempt consumes one).  A
+    ``torn_block`` event lets the write complete, then flips the file's
+    last byte — caught later by the CRC check and repaired on read.
+    """
+    for attempt in range(2):
+        kind = (
+            fault_plan.take_grid_write_fault(write_index)
+            if fault_plan is not None
+            else None
+        )
+        write_index += 1
+        if kind == "disk_full":
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.unlink(missing_ok=True)
+            if attempt:
+                raise DiskFullError(
+                    f"spill device full writing grid block ({i},{j})"
+                )
+            events.append(
+                f"disk full writing block ({i},{j}); pruned partial write, retrying"
+            )
+            continue
+        _write_framed(path, _BLOCK_MAGIC, payload)
+        if kind == "torn_block":
+            _flip_last_byte(path)
+            events.append(f"block ({i},{j}) written torn (injected)")
+        return write_index
+    raise AssertionError("unreachable")
+
+
+class GridStore:
+    """A committed on-disk grid, streamed under a memory budget.
+
+    Construct with :meth:`build` (shard an in-memory edge list — the
+    supervisor's spill rung) or :meth:`open` (a grid preprocessed
+    earlier with ``python -m repro grid preprocess``).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        manifest: dict,
+        *,
+        budget: MemoryBudget | int | None = None,
+        fault_plan=None,
+        edges: EdgeList | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.num_vertices = int(manifest["num_vertices"])
+        self.num_edges = int(manifest["num_edges"])
+        self.num_stripes = int(manifest["num_stripes"])
+        self.stripes = VertexPartition(
+            max(self.num_vertices, 1), np.asarray(manifest["boundaries"])
+        )
+        self.budget = budget if isinstance(budget, MemoryBudget) else MemoryBudget(budget)
+        self.fault_plan = fault_plan
+        self.stats = GridStats()
+        #: human-readable I/O event history (repairs, retries, faults).
+        self.events: list[str] = []
+        self._blocks = {(int(b["i"]), int(b["j"])): b for b in manifest["blocks"]}
+        self._cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        self._edges = edges
+        self._read_ops = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        edges: EdgeList,
+        directory: str | Path,
+        *,
+        num_stripes: int | None = None,
+        budget: MemoryBudget | int | None = None,
+        fault_plan=None,
+        source: dict | None = None,
+    ) -> "GridStore":
+        """Shard ``edges`` into ``directory`` and open the result.
+
+        Keeps the edge list in memory for repair-on-read, so torn blocks
+        heal even without a ``source`` record.
+        """
+        budget_obj = budget if isinstance(budget, MemoryBudget) else MemoryBudget(budget)
+        if num_stripes is None:
+            num_stripes = choose_grid_stripes(
+                edges.num_vertices, edges.num_edges, budget_obj.limit_bytes
+            )
+        events: list[str] = []
+        manifest = preprocess_grid(
+            edges, directory, num_stripes,
+            fault_plan=fault_plan, source=source, events=events,
+        )
+        store = cls(
+            directory, manifest,
+            budget=budget_obj, fault_plan=fault_plan, edges=edges,
+        )
+        store.events.extend(events)
+        store.stats.write_retries += sum("disk full" in e for e in events)
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        budget: MemoryBudget | int | None = None,
+        fault_plan=None,
+    ) -> "GridStore":
+        """Open a committed grid; raises when the manifest is absent/torn."""
+        directory = Path(directory)
+        payload = _read_framed(directory / GRID_MANIFEST, _GRID_MAGIC)
+        manifest = json.loads(payload.decode("utf-8"))
+        if manifest.get("version") != 1:
+            raise GridError(
+                f"unsupported grid manifest version {manifest.get('version')!r}"
+            )
+        return cls(directory, manifest, budget=budget, fault_plan=fault_plan)
+
+    # ------------------------------------------------------------------
+    def block_edges(self, i: int, j: int) -> int:
+        """Edge count of block ``(i, j)`` (0 when the block is empty)."""
+        entry = self._blocks.get((i, j))
+        return int(entry["edges"]) if entry else 0
+
+    def block_bytes(self, i: int, j: int) -> int:
+        """Payload bytes of block ``(i, j)``."""
+        entry = self._blocks.get((i, j))
+        return int(entry["bytes"]) if entry else 0
+
+    def total_bytes(self) -> int:
+        """Total payload bytes across all blocks."""
+        return sum(int(b["bytes"]) for b in self._blocks.values())
+
+    # ------------------------------------------------------------------
+    def read_block(self, i: int, j: int) -> BlockRead:
+        """Serve block ``(i, j)``: cache, else disk (verified, budgeted).
+
+        Transient read faults re-read in place (bounded attempts, then
+        :class:`~repro.errors.GridIOError`); CRC failures trigger
+        repair-on-read; the admitted block is charged to the budget,
+        evicting LRU residents.
+        """
+        key = (i, j)
+        entry = self._blocks.get(key)
+        if entry is None:
+            empty = np.empty(0, dtype=VID_DTYPE)
+            return BlockRead(empty, empty, 0, False)
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            self.budget.touch(key)
+            src, dst = self._cache[key]
+            return BlockRead(src, dst, 0, False)
+        slow = False
+        payload = None
+        for _ in range(_MAX_READ_ATTEMPTS):
+            kind = (
+                self.fault_plan.take_io_fault(self._read_ops)
+                if self.fault_plan is not None
+                else None
+            )
+            self._read_ops += 1
+            if kind == "io_error":
+                self.stats.io_retries += 1
+                self.events.append(
+                    f"transient I/O error reading block ({i},{j}); re-reading"
+                )
+                continue
+            if kind == "slow_io":
+                slow = True
+                self.stats.slow_reads += 1
+                self.events.append(f"slow read of block ({i},{j})")
+            payload = self._read_verified(i, j, entry)
+            break
+        if payload is None:
+            raise GridIOError(
+                f"grid block ({i},{j}) unreadable after "
+                f"{_MAX_READ_ATTEMPTS} attempts"
+            )
+        n = int(entry["edges"])
+        arr = np.frombuffer(payload, dtype=VID_DTYPE)
+        src, dst = arr[:n], arr[n:]
+        limit = self.budget.limit_bytes
+        if limit is not None and len(payload) > limit:
+            # A single block larger than the whole budget (heavy hub
+            # stripe) is streamed through uncached rather than failing:
+            # the cache governor never sees it, so the resident
+            # high-water stays within budget.
+            self.stats.uncached_reads += 1
+            self.events.append(
+                f"block ({i},{j}) exceeds the budget "
+                f"({len(payload)} B > {limit} B); streaming uncached"
+            )
+        else:
+            for evicted in self.budget.admit(key, len(payload)):
+                self._cache.pop(evicted, None)
+            self._cache[key] = (src, dst)
+        self.stats.block_reads += 1
+        self.stats.bytes_read += len(payload)
+        return BlockRead(src, dst, len(payload), slow)
+
+    def _read_verified(self, i: int, j: int, entry: dict) -> bytes:
+        """One disk read, CRC-checked against the manifest; repairs torn blocks."""
+        path = self.directory / entry["file"]
+        try:
+            payload = _read_framed(path, _BLOCK_MAGIC)
+            if zlib.crc32(payload) != int(entry["crc32"]):
+                raise CheckpointError(f"{path}: payload does not match manifest CRC")
+        except CheckpointError:
+            payload = self._repair_block(i, j, entry)
+        return payload
+
+    def _repair_block(self, i: int, j: int, entry: dict) -> bytes:
+        """Re-shard one torn block from the source edges and rewrite it."""
+        edges = self._source_edges()
+        if edges is None:
+            raise TornBlockError(
+                f"grid block ({i},{j}) is corrupt and the manifest records "
+                f"no loadable source to repair it from"
+            )
+        src, dst, pid_src, pid_dst = _shard_edges(edges, self.stripes)
+        sel = (pid_src == i) & (pid_dst == j)
+        payload = _block_payload(src[sel], dst[sel])
+        if zlib.crc32(payload) != int(entry["crc32"]):
+            raise TornBlockError(
+                f"grid block ({i},{j}) is corrupt and the recorded source "
+                f"no longer reproduces it (CRC mismatch)"
+            )
+        _write_framed(self.directory / entry["file"], _BLOCK_MAGIC, payload)
+        self.stats.repairs += 1
+        self.events.append(f"repaired torn block ({i},{j}) from source")
+        return payload
+
+    def _source_edges(self) -> EdgeList | None:
+        """The edge list to repair from: in-memory, else the manifest source."""
+        if self._edges is not None:
+            return self._edges
+        spec = self.manifest.get("source")
+        if not spec:
+            return None
+        try:
+            if spec.get("kind") == "file":
+                from ..graph import io as graph_io
+
+                path = spec["path"]
+                loader = (
+                    graph_io.load_npz if str(path).endswith(".npz")
+                    else graph_io.load_text
+                )
+                self._edges = loader(path)
+            elif spec.get("kind") == "dataset":
+                from ..graph import datasets
+
+                self._edges = datasets.load(spec["name"], spec["scale"])
+            else:
+                return None
+        except Exception:
+            return None
+        return self._edges
+
+    # ------------------------------------------------------------------
+    def verify(self) -> list[tuple[int, int]]:
+        """CRC-check every block (no repair); returns the corrupt ones."""
+        bad = []
+        for (i, j), entry in sorted(self._blocks.items()):
+            try:
+                payload = _read_framed(self.directory / entry["file"], _BLOCK_MAGIC)
+                if zlib.crc32(payload) != int(entry["crc32"]):
+                    raise CheckpointError("manifest CRC mismatch")
+            except CheckpointError:
+                bad.append((i, j))
+        return bad
+
+    def __repr__(self) -> str:
+        return (
+            f"GridStore({self.num_stripes}x{self.num_stripes}, "
+            f"|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"{len(self._blocks)} blocks, {self.total_bytes()} B)"
+        )

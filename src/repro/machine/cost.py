@@ -99,6 +99,12 @@ class CostParameters:
     #: overhead:work ratios of the paper's operating point — the same
     #: argument as scaling the LLC (see MachineSpec.scaled_for).
     reference_edges: float = 680_000.0
+    #: per-block seek/submit latency of the out-of-core grid's spill
+    #: device (SSD-class random read).
+    t_io_seek_ns: float = 50_000.0
+    #: sequential streaming throughput of the spill device, in bytes per
+    #: nanosecond (2.0 ≈ 2 GB/s — GridGraph's SSD-array operating point).
+    io_bytes_per_ns: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -311,7 +317,19 @@ class CostModel:
             return self._time_ranged_csc(stats, profile, update_scale)
         if stats.layout in ("coo", "pcsr"):
             return self._time_partitioned_forward(stats, profile, update_scale)
+        if stats.layout == "grid":
+            # Out-of-core streaming: compute prices like the partitioned
+            # forward path, I/O streams blocks from the spill device.
+            # GridGraph overlaps the two (double buffering), so the phase
+            # costs the slower of the two, not their sum.
+            compute = self._time_partitioned_forward(stats, profile, update_scale)
+            return max(compute, self.grid_io_time_ns(stats.io_bytes, stats.io_blocks))
         raise ValueError(f"unknown layout {stats.layout!r}")
+
+    def grid_io_time_ns(self, io_bytes: int, io_blocks: int) -> float:
+        """Simulated disk time of one grid phase's block reads."""
+        p = self.params
+        return io_blocks * p.t_io_seek_ns + io_bytes / p.io_bytes_per_ns
 
     def _time_whole_csr(
         self, stats: EdgeMapStats, profile: LayoutProfile, update_scale: float = 1.0

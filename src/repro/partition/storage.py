@@ -64,12 +64,24 @@ class StorageModel:
             + self.num_vertices * self.bytes_per_eid
         )
 
+    def csr_whole_bytes(self) -> int:
+        """Whole-graph (unpartitioned) CSR: ``|E| bv + |V| be``.
+
+        Numerically the same formula as :meth:`csc_bytes` — one index
+        array over vertices plus one neighbour id per edge — but named
+        for what it models: the sparse-frontier CSR copy of §III.B.
+        """
+        return int(
+            self.num_edges * self.bytes_per_vid
+            + self.num_vertices * self.bytes_per_eid
+        )
+
     def coo_bytes(self) -> int:
         """COO: ``2 |E| bv`` (independent of ``p``)."""
         return int(2 * self.num_edges * self.bytes_per_vid)
 
     # ------------------------------------------------------------------
-    def graphgrind_v2_bytes(self, replication_factor_unused: float = 0.0) -> int:
+    def graphgrind_v2_bytes(self) -> int:
         """Total for the paper's three-copy scheme: whole CSR + whole CSC + COO.
 
         §III.B: the system stores an *unpartitioned* CSR (for sparse
@@ -77,8 +89,7 @@ class StorageModel:
         COO (dense).  None of the three grows with ``p``, so the memory
         requirement is independent of the number of partitions.
         """
-        whole_csr = self.csc_bytes()  # same formula as CSC for one partition
-        return whole_csr + self.csc_bytes() + self.coo_bytes()
+        return self.csr_whole_bytes() + self.csc_bytes() + self.coo_bytes()
 
     def ligra_bytes(self) -> int:
         """Ligra/Polymer-style two-copy scheme: whole CSR + whole CSC."""
@@ -95,7 +106,10 @@ class StorageModel:
         if num_bytes > dram_bytes:
             raise CapacityError(
                 f"{what} needs {self.to_gib(num_bytes):.1f} GiB but the "
-                f"machine has {self.to_gib(dram_bytes):.1f} GiB"
+                f"machine has {self.to_gib(dram_bytes):.1f} GiB",
+                required_bytes=int(num_bytes),
+                available_bytes=int(dram_bytes),
+                what=what,
             )
 
     @staticmethod

@@ -10,7 +10,14 @@ ladder and the degradation ladder.
 
 from .backoff import BackoffSchedule
 from .checkpoint import Checkpointable, CheckpointManager, CheckpointSession
-from .faults import FAULT_KINDS, NET_FAULT_KINDS, FaultEvent, FaultPlan
+from .faults import (
+    FAULT_KINDS,
+    GRID_WRITE_FAULT_KINDS,
+    IO_FAULT_KINDS,
+    NET_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
 from .journal import PartitionRecord, PhaseJournal
 from .netsim import NetworkSimulator
 from .remote import (
@@ -44,6 +51,8 @@ __all__ = [
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
+    "GRID_WRITE_FAULT_KINDS",
+    "IO_FAULT_KINDS",
     "LocalDirStore",
     "NET_FAULT_KINDS",
     "NetworkSimulator",

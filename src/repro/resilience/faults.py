@@ -61,6 +61,28 @@ edge-map phase, and a ``:partition`` suffix is rejected:
     A bounded-staleness read: the GET/HEAD is served from the key's
     *previous* version when one exists; the client detects the stale
     ETag and re-reads consistently.
+
+Disk I/O fault kinds
+--------------------
+These target the out-of-core grid store (:mod:`repro.layout.grid`).
+For read kinds, ``iteration`` indexes the *Nth grid block read* the
+store issues (0-based); for write kinds, the *Nth block write* during
+preprocessing.  A ``:partition`` suffix is rejected:
+
+``io_error``
+    One block read fails transiently; the store re-reads in place
+    (bounded attempts, then :class:`~repro.errors.GridIOError`).
+``slow_io``
+    One block read is flagged slow, feeding the watchdog's I/O deadline
+    ladder (retry → requeue → degrade) without failing the read.
+``disk_full``
+    One block write hits a full spill device; the preprocessor prunes
+    the partial write and retries once
+    (:class:`~repro.errors.DiskFullError` if it recurs).
+``torn_block``
+    One block write completes torn (last byte flipped after the frame
+    is written), exercising the CRC check and repair-on-read from the
+    manifest's recorded source.
 """
 
 from __future__ import annotations
@@ -71,7 +93,14 @@ import numpy as np
 
 from ..errors import CapacityError, ValidationError, WorkerFailure
 
-__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "NET_FAULT_KINDS"]
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "NET_FAULT_KINDS",
+    "IO_FAULT_KINDS",
+    "GRID_WRITE_FAULT_KINDS",
+]
 
 #: Kinds injected into the simulated network transport; their
 #: ``iteration`` indexes the Nth remote request, not an edge-map phase.
@@ -82,6 +111,20 @@ NET_FAULT_KINDS = (
     "stale_read",
 )
 
+#: Kinds injected into grid block *reads*; their ``iteration`` indexes
+#: the Nth block read the grid store issues.
+IO_FAULT_KINDS = (
+    "io_error",
+    "slow_io",
+)
+
+#: Kinds injected into grid block *writes* during preprocessing; their
+#: ``iteration`` indexes the Nth block write.
+GRID_WRITE_FAULT_KINDS = (
+    "disk_full",
+    "torn_block",
+)
+
 FAULT_KINDS = (
     "worker_crash",
     "partition",
@@ -90,7 +133,7 @@ FAULT_KINDS = (
     "corrupt_shard",
     "lost_replica",
     "stall",
-) + NET_FAULT_KINDS
+) + NET_FAULT_KINDS + IO_FAULT_KINDS + GRID_WRITE_FAULT_KINDS
 
 #: Kinds that must name a partition (``kind@iteration:partition``).
 _PARTITION_REQUIRED = frozenset({"partition", "stall"})
@@ -269,6 +312,40 @@ class FaultPlan:
             if (
                 not ev.fired
                 and ev.kind in NET_FAULT_KINDS
+                and ev.iteration == op_index
+            ):
+                ev.fired = True
+                return ev.kind
+        return None
+
+    def take_io_fault(self, op_index: int) -> str | None:
+        """Consume a pending disk-I/O fault for the ``op_index``-th block read.
+
+        Called by :meth:`~repro.layout.grid.GridStore.read_block` once
+        per physical read attempt; returns ``"io_error"``/``"slow_io"``
+        or ``None``.  At most one event fires per read, so stacked
+        events on the same index fire on consecutive re-reads.
+        """
+        for ev in self.events:
+            if (
+                not ev.fired
+                and ev.kind in IO_FAULT_KINDS
+                and ev.iteration == op_index
+            ):
+                ev.fired = True
+                return ev.kind
+        return None
+
+    def take_grid_write_fault(self, op_index: int) -> str | None:
+        """Consume a pending write fault for the ``op_index``-th block write.
+
+        Called by the grid preprocessor once per write attempt; returns
+        ``"disk_full"``/``"torn_block"`` or ``None``.
+        """
+        for ev in self.events:
+            if (
+                not ev.fired
+                and ev.kind in GRID_WRITE_FAULT_KINDS
                 and ev.iteration == op_index
             ):
                 ev.fired = True

@@ -25,6 +25,16 @@ exploit that.  Per edge-map phase it records, for every partition task:
 The engine asserts recovery cost through :attr:`reexecutions`: the
 number of partition tasks that ran more than once.  A single injected
 ``worker_crash`` on partition *k* must leave it at exactly 1.
+
+Out-of-core grid execution refines the unit of work one level further:
+a destination stripe is processed as a sequence of blocks (one per
+source stripe), each mutating the same destination slice incrementally.
+The journal therefore also keeps *block-level* records keyed by
+``(stripe, block)``, plus a per-stripe digest of the destination slice
+after the stripe's most recent commit.  A crash mid-stream re-executes
+only the in-flight block: on the supervised retry, the stripe digest
+verifies the committed blocks' writes survived intact, those blocks are
+replayed from record, and execution resumes at the block that failed.
 """
 
 from __future__ import annotations
@@ -89,6 +99,11 @@ class PhaseJournal:
         self.phase: int | None = None
         self._records: dict[int, PartitionRecord] = {}
         self._executions: dict[int, int] = {}
+        # Block-level records for grid execution: (stripe, block) -> record,
+        # plus the destination-slice digest after each stripe's last commit.
+        self._block_records: dict[tuple[int, int], PartitionRecord] = {}
+        self._block_executions: dict[tuple[int, int], int] = {}
+        self._stripe_digests: dict[int, int] = {}
         #: cumulative count of partition tasks executed more than once —
         #: the recovery cost a partition-granular fault is allowed to pay.
         self.reexecutions: int = 0
@@ -105,14 +120,20 @@ class PhaseJournal:
             self.phase = index
             self._records.clear()
             self._executions.clear()
+            self._block_records.clear()
+            self._block_executions.clear()
+            self._stripe_digests.clear()
 
     def invalidate(self) -> None:
         """Discard the current phase's records (whole-phase rollback or a
         partition-count change made them unreplayable)."""
-        if self._records:
+        if self._records or self._block_records:
             self.entries.append(f"phase {self.phase}: journal invalidated")
         self._records.clear()
         self._executions.clear()
+        self._block_records.clear()
+        self._block_executions.clear()
+        self._stripe_digests.clear()
 
     # ------------------------------------------------------------------
     def completed(self, partition: int) -> PartitionRecord | None:
@@ -150,13 +171,67 @@ class PhaseJournal:
         )
 
     # ------------------------------------------------------------------
+    # block-level records (grid execution)
+    # ------------------------------------------------------------------
+    def completed_block(self, stripe: int, block: int) -> PartitionRecord | None:
+        """The committed record for block ``(stripe, block)``, if any."""
+        return self._block_records.get((stripe, block))
+
+    def note_block_execution(self, stripe: int, block: int) -> None:
+        """Write the intent entry: block ``(stripe, block)`` is about to run."""
+        key = (stripe, block)
+        count = self._block_executions.get(key, 0) + 1
+        self._block_executions[key] = count
+        if count > 1:
+            self.reexecutions += 1
+        self.entries.append(
+            f"phase {self.phase}: start block ({stripe},{block}) (execution {count})"
+        )
+
+    def commit_block(self, record: PartitionRecord, stripe: int, block: int,
+                     digest: int) -> None:
+        """Commit one block's record; ``digest`` covers the stripe's
+        destination slice *after* this block applied."""
+        self._block_records[(stripe, block)] = record
+        self._stripe_digests[stripe] = digest
+        self.entries.append(
+            f"phase {self.phase}: commit block ({stripe},{block}) "
+            f"digest {digest:#010x}"
+        )
+
+    def note_block_replay(self, stripe: int, block: int) -> None:
+        """Record that a committed block was replayed, not re-executed."""
+        self.replays += 1
+        self.entries.append(f"phase {self.phase}: replay block ({stripe},{block})")
+
+    def stripe_digest(self, stripe: int) -> int | None:
+        """Destination-slice digest after ``stripe``'s last committed block."""
+        return self._stripe_digests.get(stripe)
+
+    def stripe_has_blocks(self, stripe: int) -> bool:
+        """Whether ``stripe`` holds any committed block records."""
+        return any(s == stripe for s, _ in self._block_records)
+
+    def drop_stripe(self, stripe: int) -> None:
+        """Discard a stripe's block records (its slice digest went stale)."""
+        stale = [key for key in self._block_records if key[0] == stripe]
+        for key in stale:
+            del self._block_records[key]
+        self._stripe_digests.pop(stripe, None)
+        if stale:
+            self.entries.append(
+                f"phase {self.phase}: dropped {len(stale)} stale block "
+                f"record(s) for stripe {stripe}"
+            )
+
+    # ------------------------------------------------------------------
     def has_commits(self) -> bool:
-        """Whether the current phase holds any committed partitions."""
-        return bool(self._records)
+        """Whether the current phase holds any committed partitions or blocks."""
+        return bool(self._records) or bool(self._block_records)
 
     def num_commits(self) -> int:
-        """Committed partition count in the current phase."""
-        return len(self._records)
+        """Committed partition and block count in the current phase."""
+        return len(self._records) + len(self._block_records)
 
     @property
     def reexecution_count(self) -> int:

@@ -11,8 +11,12 @@ or :class:`~repro.errors.CapacityError`):
   clamped to ``cap``; the default base of 0 makes test runs sleep-free);
 * a :class:`CapacityError` additionally walks the degradation ladder:
   the partition count is halved (and the PCSR re-derived) before the
-  retry, modelling GridGraph-style memory-budget-driven degradation
-  instead of dying at the paper's 256 GiB wall;
+  retry; when halving bottoms out at :attr:`min_partitions` — or the
+  error's structured byte accounting shows halving cannot possibly
+  close the deficit — and the policy opts into spilling (a
+  ``memory_budget`` or ``spill_dir`` is set), the engine degrades to
+  out-of-core grid execution (:mod:`repro.layout.grid`) instead of
+  dying at the paper's 256 GiB wall;
 * when the budget is spent the supervisor raises the typed
   :class:`~repro.errors.RetryExhausted` with the last fault chained.
 """
@@ -63,6 +67,21 @@ class ResiliencePolicy:
         Optional :class:`~repro.resilience.watchdog.Watchdog` enforcing
         per-partition deadlines with the retry → requeue → degrade
         escalation ladder.
+    memory_budget:
+        Resident-byte budget for out-of-core grid execution: an int
+        (bytes) or a spec string (``"512M"``, ``"1.5G"``; see
+        :func:`~repro.core.budget.parse_memory_budget`).  Normalised to
+        bytes at construction so a malformed spec dies loudly, not at
+        the first spill.  Setting it opts the degradation ladder into
+        the grid spill rung.
+    spill_dir:
+        Directory for the spilled grid.  Setting it (with or without a
+        ``memory_budget``) also opts into the spill rung; ``None`` with
+        a budget set spills to a temporary directory.
+    grid_stripes:
+        Explicit grid granularity P; ``None`` (default) derives it from
+        the budget via
+        :func:`~repro.layout.grid.choose_grid_stripes`.
     sleep:
         Injection point for tests; defaults to :func:`time.sleep`.
     """
@@ -76,6 +95,9 @@ class ResiliencePolicy:
     rng_seed: int = 0
     fault_plan: FaultPlan | None = None
     watchdog: Watchdog | None = None
+    memory_budget: int | str | None = None
+    spill_dir: str | None = None
+    grid_stripes: int | None = None
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
     def __post_init__(self) -> None:
@@ -83,6 +105,14 @@ class ResiliencePolicy:
             raise ValueError("max_retries must be >= 0")
         if self.min_partitions < 1:
             raise ValueError("min_partitions must be >= 1")
+        if self.memory_budget is not None:
+            # Deferred import: core.budget sits below core/__init__, which
+            # imports the engine, which imports this module.
+            from ..core.budget import parse_memory_budget
+
+            self.memory_budget = parse_memory_budget(self.memory_budget)
+        if self.grid_stripes is not None and self.grid_stripes < 1:
+            raise ValueError("grid_stripes must be >= 1")
         # The one shared backoff implementation (also used by the remote
         # object client); its constructor validates the parameters.
         self._backoff = BackoffSchedule(
@@ -92,6 +122,11 @@ class ResiliencePolicy:
             jitter=self.backoff_jitter,
             seed=self.rng_seed,
         )
+
+    @property
+    def spill_enabled(self) -> bool:
+        """Whether the degradation ladder may spill to the on-disk grid."""
+        return self.memory_budget is not None or self.spill_dir is not None
 
     def backoff_delay(self, attempt: int) -> float:
         """Delay before retry ``attempt`` (0-based): jittered, then capped."""

@@ -73,8 +73,9 @@ class Watchdog:
             raise ValueError("grace must be > 0")
         if not (1 <= self.requeue_after < self.degrade_after):
             raise ValueError("need 1 <= requeue_after < degrade_after")
-        #: per-partition overrun counts driving the escalation ladder.
-        self.overruns: dict[int, int] = {}
+        #: per-task overrun counts driving the escalation ladder, keyed
+        #: by partition id (compute) or ``("io", block)`` (grid reads).
+        self.overruns: dict[object, int] = {}
         #: human-readable overrun/escalation history.
         self.log: list[str] = []
 
@@ -95,11 +96,40 @@ class Watchdog:
         Returns ``None`` when the task met its deadline, else the next
         rung of :data:`ESCALATION_LADDER` for this partition.
         """
-        deadline = self.deadline_ns(num_edges)
+        return self._escalate(
+            partition, f"partition {partition}",
+            elapsed_ns, self.deadline_ns(num_edges),
+        )
+
+    # ------------------------------------------------------------------
+    def predicted_io_ns(self, num_bytes: int) -> float:
+        """Cost-model prediction of one grid block read (seek + transfer)."""
+        p = self.params
+        return p.t_io_seek_ns + num_bytes / p.io_bytes_per_ns
+
+    def io_deadline_ns(self, num_bytes: int) -> float:
+        """A block read's deadline: prediction times the grace factor."""
+        return self.grace * self.predicted_io_ns(num_bytes)
+
+    def observe_io(self, block: object, num_bytes: int, elapsed_ns: float) -> str | None:
+        """Check one grid block read against its I/O deadline.
+
+        Shares the escalation ladder with partition tasks but keys
+        overruns by ``("io", block)``, so a persistently slow spill
+        device escalates independently of compute stalls.
+        """
+        return self._escalate(
+            ("io", block), f"block {block} read",
+            elapsed_ns, self.io_deadline_ns(num_bytes),
+        )
+
+    def _escalate(
+        self, key: object, label: str, elapsed_ns: float, deadline: float
+    ) -> str | None:
         if elapsed_ns <= deadline:
             return None
-        count = self.overruns.get(partition, 0) + 1
-        self.overruns[partition] = count
+        count = self.overruns.get(key, 0) + 1
+        self.overruns[key] = count
         if count >= self.degrade_after:
             action = "degrade"
         elif count >= self.requeue_after:
@@ -107,7 +137,7 @@ class Watchdog:
         else:
             action = "retry"
         self.log.append(
-            f"partition {partition} overran deadline "
+            f"{label} overran deadline "
             f"({elapsed_ns:.0f} ns > {deadline:.0f} ns, overrun {count}): {action}"
         )
         return action

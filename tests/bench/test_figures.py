@@ -37,7 +37,9 @@ def test_fig5_driver(cache):
         cache=cache,
     )
     exp = out["PR"]
-    assert exp.headers == ["partitions", "CSR+a", "CSC+na", "COO+na", "COO+a"]
+    assert exp.headers == [
+        "partitions", "CSR+a", "CSC+na", "COO+na", "COO+a", "CSR+grid"
+    ]
     assert len(exp.rows) == 3
     # Below one partition per thread, the +na curve is undefined.
     assert exp.rows[0][3] is None
@@ -58,6 +60,9 @@ def test_fig5_memory_wall(cache):
     rows = out["PR"].rows
     assert rows[0][1] is not None  # 4 partitions fit
     assert rows[1][1] is None  # 480 partitions exceed the paper machine
+    assert rows[0][5] is None  # no grid point while CSR fits
+    assert rows[1][5] is not None  # grid extends the sweep past the wall
+    assert rows[1][5] > 0.0
 
 
 def test_fig6_driver(cache):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import CapacityError
 from repro.partition.storage import StorageModel
 
 
@@ -54,6 +55,17 @@ def test_custom_byte_sizes():
     assert m.csc_bytes() == 880
 
 
+def test_csr_whole_matches_csc_formula(twitter_model):
+    # Same closed form — one index array over vertices plus one neighbour
+    # id per edge — under the name that matches what it models.
+    assert twitter_model.csr_whole_bytes() == twitter_model.csc_bytes()
+    assert twitter_model.graphgrind_v2_bytes() == (
+        twitter_model.csr_whole_bytes()
+        + twitter_model.csc_bytes()
+        + twitter_model.coo_bytes()
+    )
+
+
 def test_assert_fits(twitter_model):
     from repro.errors import CapacityError
     import pytest as _pytest
@@ -61,3 +73,20 @@ def test_assert_fits(twitter_model):
     twitter_model.assert_fits(10, 100)
     with _pytest.raises(CapacityError, match="GiB"):
         twitter_model.assert_fits(300 << 30, 256 << 30, what="CSR at P=384")
+
+
+def test_assert_fits_exact_boundary(twitter_model):
+    # num_bytes == dram_bytes fits: the wall is strict inequality.
+    twitter_model.assert_fits(256 << 30, 256 << 30)
+    with pytest.raises(CapacityError):
+        twitter_model.assert_fits((256 << 30) + 1, 256 << 30)
+
+
+def test_capacity_error_structured_fields(twitter_model):
+    with pytest.raises(CapacityError) as info:
+        twitter_model.assert_fits(300 << 30, 256 << 30, what="CSR at P=384")
+    err = info.value
+    assert err.required_bytes == 300 << 30
+    assert err.available_bytes == 256 << 30
+    assert err.what == "CSR at P=384"
+    assert err.deficit_bytes == (300 << 30) - (256 << 30)

@@ -114,6 +114,20 @@ def test_repeated_oom_walks_ladder_to_floor(small_rmat):
     assert any("cannot degrade below 2" in line for line in engine.resilience_log)
 
 
+def test_repeated_oom_bottoms_at_one_partition(small_rmat):
+    # The default floor is p=1; without spill opt-in the ladder parks
+    # there and retries (no grid, no further degradation).
+    plan = FaultPlan([FaultEvent("oom", 0) for _ in range(4)])
+    policy = ResiliencePolicy(max_retries=8, fault_plan=plan)
+    engine = _engine(small_rmat, policy)
+    faulted = pagerank(engine, iterations=2)
+    assert engine.store.num_partitions == 1  # 8 -> 4 -> 2 -> 1
+    assert engine.grid is None
+    assert any("cannot degrade below 1" in line for line in engine.resilience_log)
+    baseline = pagerank(_engine(small_rmat), iterations=2)
+    assert np.array_equal(faulted.ranks, baseline.ranks)
+
+
 # ----------------------------------------------------------------------
 # exhaustion and unsupervised runs die with typed errors, never silently
 # ----------------------------------------------------------------------

@@ -67,6 +67,66 @@ def test_bad_algorithm_rejected():
 
 
 # ----------------------------------------------------------------------
+# the `grid` subcommand and the spill flags of `run`
+# ----------------------------------------------------------------------
+def test_grid_preprocess_verify_and_run(tmp_path, small_rmat, capsys):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    grid_dir = tmp_path / "grid"
+    assert main(["grid", "preprocess", str(grid_dir),
+                 "--graph", str(path), "--stripes", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3x3 grid" in out
+
+    assert main(["grid", "info", str(grid_dir)]) == 0
+    assert "GridStore(3x3" in capsys.readouterr().out
+
+    assert main(["grid", "verify", str(grid_dir)]) == 0
+    assert "0 corrupt" in capsys.readouterr().out
+
+    rc = main(["run", "BFS", "--graph", str(path), "--partitions", "8",
+               "--grid", str(grid_dir), "--memory-budget", "8K"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "grid: 3x3 blocks" in out
+    assert "resident high-water" in out
+
+
+def test_grid_verify_flags_corruption(tmp_path, small_rmat, capsys):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    grid_dir = tmp_path / "grid"
+    assert main(["grid", "preprocess", str(grid_dir),
+                 "--graph", str(path), "--stripes", "2"]) == 0
+    block = next(grid_dir.glob("block-*.grb"))
+    data = bytearray(block.read_bytes())
+    data[-1] ^= 0xFF
+    block.write_bytes(bytes(data))
+    capsys.readouterr()
+    assert main(["grid", "verify", str(grid_dir)]) == 1
+    assert "CORRUPT" in capsys.readouterr().out
+
+
+def test_run_memory_budget_spills(tmp_path, small_rmat, capsys):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    rc = main(["run", "PR", "--graph", str(path), "--partitions", "8",
+               "--memory-budget", "8K"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "out-of-core grid" in out
+    assert "resident high-water" in out
+
+
+def test_malformed_memory_budget_is_a_typed_cli_error(tmp_path, small_rmat, capsys):
+    path = tmp_path / "g.npz"
+    save_npz(path, small_rmat)
+    assert main(["run", "PR", "--graph", str(path),
+                 "--memory-budget", "lots"]) == 1
+    assert "bad memory budget" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # checkpoint stores, watchdog and the `checkpoints` maintenance command
 # ----------------------------------------------------------------------
 def _run_with_checkpoints(tmp_path, small_rmat, *extra):
