@@ -1,0 +1,249 @@
+"""Perf benchmark: parallel sparse forward-CSR dispatch vs the serial kernel.
+
+Standalone (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_sparse_parallel.py \
+        [--out benchmarks/out/BENCH_sparse.json] \
+        [--baseline benchmarks/BENCH_sparse_baseline.json] \
+        [--workers N]
+
+The sparse phase is the one the process backend historically left on the
+serial path: a frontier-gathered CSR traversal with no partition
+structure.  This bench isolates it — a fixed sparse frontier (the
+largest deterministic vertex sample that still classifies *sparse* under
+the paper's |E|/20 rule) driven through ``engine.edge_map`` for a fixed
+number of phases with the certified PRDelta operator, once on the serial
+backend and once on ``process:workers=N:sparse=1`` — asserting
+*bit-identical* accumulators before timing is reported.  Writes
+``BENCH_sparse.json`` rows ``{name, vertices, edges, frontier_vertices,
+frontier_edges, phases, partitions, workers, cores, serial_s,
+process_s, speedup}``.
+
+Gates:
+
+* **absolute floor** — on a machine with >= 2 cores the best row must
+  reach ``SPEEDUP_FLOOR`` (the acceptance bar: 1.3x).  A single-core
+  machine cannot speed anything up by forking, so there the floor is
+  reported but not enforced (the CI job runs on multi-core runners,
+  where it is).
+* **ratio gate** — against a committed baseline *recorded on a
+  comparable machine* (same >= 2-core regime), fail when a row's
+  speedup drops below ``baseline / REGRESSION_RATIO``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._types import VAL_DTYPE, VID_DTYPE  # noqa: E402
+from repro.algorithms.prdelta import PRDeltaOp  # noqa: E402
+from repro.core import Engine, EngineOptions  # noqa: E402
+from repro.frontier.frontier import Frontier  # noqa: E402
+from repro.graph.generators import rmat  # noqa: E402
+from repro.layout.store import GraphStore  # noqa: E402
+
+#: acceptance bar on multi-core machines: best sparse-phase speedup.
+SPEEDUP_FLOOR = 1.3
+#: regression gate: fail when a row's speedup halves vs the baseline.
+REGRESSION_RATIO = 2.0
+
+#: (row name, rmat scale, avg degree, partitions, phases).
+WORKLOADS = [
+    ("sparse_rmat17", 17, 16.0, 96, 30),
+    ("sparse_rmat18", 18, 24.0, 96, 12),
+]
+
+
+def _cores() -> int:
+    return os.cpu_count() or 1
+
+
+def timed(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _sparse_frontier(store) -> Frontier:
+    """The densest deterministic sample that still classifies sparse.
+
+    Takes the longest prefix of a seeded vertex permutation whose
+    paper edge metric ``|F| + sum degout(F)`` stays under ~80 % of the
+    |E|/20 sparse threshold — maximising per-phase work while keeping
+    every phase on the sparse forward-CSR path.
+    """
+    n = store.num_vertices
+    num_edges = int(store.out_degrees.sum())
+    limit = 0.8 * num_edges / 20.0
+    perm = np.random.default_rng(7).permutation(n)
+    metric = np.cumsum(store.out_degrees[perm].astype(np.int64) + 1)
+    k = int(np.searchsorted(metric, limit))
+    if k == 0:
+        raise SystemExit("graph too small to build a sparse frontier")
+    return Frontier(n, sparse=np.sort(perm[:k]).astype(VID_DTYPE))
+
+
+def _run_phases(engine: Engine, frontier: Frontier, phases: int) -> np.ndarray:
+    n = engine.num_vertices
+    deg = engine.store.out_degrees.astype(VAL_DTYPE)
+    op = PRDeltaOp(
+        1.0 / np.where(deg > 0, deg, 1.0).astype(VAL_DTYPE),
+        np.zeros(n, dtype=VAL_DTYPE),
+    )
+    for _ in range(phases):
+        engine.edge_map(frontier, op)
+    return np.asarray(op.accum).copy()
+
+
+def bench_workload(
+    name: str, scale: int, degree: float, partitions: int, phases: int, workers: int
+) -> dict:
+    edges = rmat(scale, degree, seed=11)
+    store = GraphStore.build(edges, num_partitions=partitions)
+    frontier = _sparse_frontier(store)
+    frontier_edges = int(store.out_degrees[frontier.as_sparse()].sum())
+
+    serial_engine = Engine(store, EngineOptions(num_threads=workers))
+    # warm the layout caches symmetrically with the process warm-up below
+    _run_phases(serial_engine, frontier, 1)
+    serial_s, serial_accum = timed(
+        lambda: _run_phases(serial_engine, frontier, phases)
+    )
+
+    process_engine = Engine(
+        store,
+        EngineOptions(
+            num_threads=workers,
+            backend=f"process:workers={workers}:sparse=1",
+        ),
+    )
+    try:
+        # pool start-up, layout publishing and operator-state adoption
+        # are once-per-engine costs; keep them outside the timed region.
+        _run_phases(process_engine, frontier, 1)
+        process_s, process_accum = timed(
+            lambda: _run_phases(process_engine, frontier, phases)
+        )
+        stats = process_engine.backend_stats
+        if stats.fallbacks:
+            raise SystemExit(f"{name}: backend fell back to serial during the run")
+        if stats.partitions_dispatched == 0:
+            raise SystemExit(f"{name}: sparse phases never dispatched to workers")
+        if not np.array_equal(serial_accum, process_accum):
+            raise SystemExit(f"{name}: accumulator not bit-identical")
+    finally:
+        process_engine.close()
+
+    return {
+        "name": name,
+        "vertices": int(edges.num_vertices),
+        "edges": int(edges.num_edges),
+        "frontier_vertices": int(frontier.size),
+        "frontier_edges": frontier_edges,
+        "phases": int(phases),
+        "partitions": int(partitions),
+        "workers": int(workers),
+        "cores": _cores(),
+        "serial_s": round(serial_s, 4),
+        "process_s": round(process_s, 4),
+        "speedup": round(serial_s / process_s, 2) if process_s > 0 else float("inf"),
+    }
+
+
+def check_baseline(rows: list[dict], baseline_path: Path) -> list[str]:
+    baseline_doc = json.loads(baseline_path.read_text())
+    baseline = {r["name"]: r for r in baseline_doc["rows"]}
+    errors = []
+    multicore = _cores() >= 2
+    for row in rows:
+        base = baseline.get(row["name"])
+        if base is None:
+            continue
+        if multicore != (base.get("cores", 1) >= 2):
+            print(
+                f"note: {row['name']}: baseline recorded on "
+                f"{base.get('cores', 1)} core(s), this machine has "
+                f"{_cores()}; ratio gate skipped"
+            )
+            continue
+        floor = base["speedup"] / REGRESSION_RATIO
+        if row["speedup"] < floor:
+            errors.append(
+                f"{row['name']}: speedup {row['speedup']}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']}x / {REGRESSION_RATIO})"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent / "out" / "BENCH_sparse.json")
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent / "BENCH_sparse_baseline.json"),
+        help="baseline JSON for the regression gate ('' disables)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=min(4, max(2, _cores())),
+        help="process-backend worker count (default: min(4, cores), >= 2)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"cores: {_cores()}; workers: {args.workers}")
+    rows = [
+        bench_workload(name, scale, degree, partitions, phases, args.workers)
+        for name, scale, degree, partitions, phases in WORKLOADS
+    ]
+    for row in rows:
+        print(
+            f"{row['name']:>14}: |V|={row['vertices']} |E|={row['edges']} "
+            f"frontier {row['frontier_vertices']} vertices "
+            f"/ {row['frontier_edges']} edges x {row['phases']} phases  "
+            f"serial {row['serial_s']:.3f}s  process {row['process_s']:.3f}s  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    failures = []
+    best = max(row["speedup"] for row in rows)
+    if _cores() >= 2:
+        if best < SPEEDUP_FLOOR:
+            failures.append(
+                f"best speedup {best}x is below the {SPEEDUP_FLOOR}x "
+                f"acceptance floor ({_cores()} cores)"
+            )
+    else:
+        print(
+            f"note: single-core machine; the {SPEEDUP_FLOOR}x floor is "
+            f"reported but not enforced (best: {best}x)"
+        )
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            failures.extend(check_baseline(rows, baseline_path))
+        else:
+            print(f"note: no baseline at {baseline_path}; gate skipped")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("sparse parallel bench ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -135,7 +135,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--threads", type=int, default=48)
     run.add_argument("--backend", default=None,
                      help="execution backend spec: serial | "
-                          "process[:workers=N][:chunk=auto|N][:strict=0|1] "
+                          "process[:workers=N][:chunk=auto|N][:strict=0|1]"
+                          "[:sparse=0|1][:prefetch=0|1|N] "
                           "(default: $REPRO_BACKEND or serial)")
     run.add_argument("--edge-order", default="source",
                      choices=("source", "destination", "hilbert"))
@@ -176,6 +177,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--grid-stripes", type=int, default=None, metavar="P",
                      help="grid granularity when spilling (default: derived "
                           "from --memory-budget)")
+    run.add_argument("--stripe-mode", default="vertex",
+                     choices=("vertex", "degree"),
+                     help="stripe boundary placement when spilling to a grid: "
+                          "equal vertex counts or degree-balanced (BBC-style) "
+                          "equal edge weight (default vertex)")
 
     grid = sub.add_parser(
         "grid", help="preprocess / inspect an out-of-core edge grid"
@@ -192,6 +198,11 @@ def _build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--memory-budget", default=None, metavar="SIZE",
                       help="budget the granularity is derived from, "
                            "e.g. '64K', '1.5G'")
+    grid.add_argument("--stripe-mode", default="vertex",
+                      choices=("vertex", "degree"),
+                      help="stripe boundary placement: equal vertex counts or "
+                           "degree-balanced (BBC-style) equal edge weight "
+                           "(default vertex)")
     grid.add_argument("--fault-plan", default=None,
                       help="inject write faults while preprocessing, "
                            "e.g. 'disk_full@0,torn_block@3'")
@@ -306,6 +317,7 @@ def _build_resilience(args: argparse.Namespace):
         memory_budget=args.memory_budget,
         spill_dir=args.spill_dir,
         grid_stripes=args.grid_stripes,
+        grid_stripe_mode=args.stripe_mode,
     )
 
 
@@ -391,6 +403,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"grid: resident high-water {budget.high_water_bytes} B "
                   f"of {budget.limit_bytes} B budget "
                   f"({budget.admissions} admissions, {budget.evictions} evictions)")
+        if budget.prefetch_high_water_bytes:
+            quota = budget.effective_prefetch_quota()
+            print(f"grid: prefetch high-water {budget.prefetch_high_water_bytes} B"
+                  + (f" of {quota} B quota" if quota is not None else ""))
         for line in grid.events:
             print(f"grid: {line}")
     if session is not None:
@@ -417,6 +433,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"batches {backend_stats.batches_dispatched}; "
               f"partitions {backend_stats.partitions_dispatched}; "
               f"shm {backend_stats.shm_bytes_mapped / 1024:.1f} KiB; "
+              f"state requested {backend_stats.shm_bytes_requested / 1024:.1f} KiB "
+              f"/ republished {backend_stats.shm_bytes_republished / 1024:.1f} KiB "
+              f"({backend_stats.segments_reused} segment reuse(s)); "
               f"fallbacks {backend_stats.fallbacks}")
     print(f"edge maps: {stats.num_iterations}; "
           f"layouts {stats.layout_histogram()}; "
@@ -527,6 +546,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         manifest = preprocess_grid(
             edges, args.directory, stripes,
             fault_plan=plan, source=source, events=events,
+            stripe_mode=args.stripe_mode,
         )
         for line in events:
             print(f"grid: {line}")

@@ -69,6 +69,9 @@ class BPOp(EdgeOperator):
     """Accumulate log-messages for both states into the destinations."""
 
     combine = "add"
+    #: one live instance per run, arrays mutated in place between phases
+    #: (see :class:`~repro.algorithms.pagerank.PageRankOp`).
+    persistent_state = True
 
     def __init__(
         self,
@@ -133,13 +136,23 @@ def belief_propagation(
         belief = state.belief
         delta = float(state.last_delta[0])
     converged_on_resume = it > 0 and tolerance > 0.0 and delta < tolerance
+    # One operator per run, updated in place each iteration (the copies
+    # and fill(0.0) write the same values the per-iteration arrays held),
+    # so an adopting process backend republishes nothing between phases.
+    op = BPOp(
+        belief.copy(),
+        np.zeros(n, dtype=VAL_DTYPE),
+        np.zeros(n, dtype=VAL_DTYPE),
+        eps,
+    )
     if not converged_on_resume:
         for it in range(it + 1, iterations + 1):
-            log_msg_1 = np.zeros(n, dtype=VAL_DTYPE)
-            log_msg_0 = np.zeros(n, dtype=VAL_DTYPE)
-            engine.edge_map(frontier, BPOp(belief, log_msg_1, log_msg_0, eps))
-            z1 = log_prior_1 + log_msg_1
-            z0 = log_prior_0 + log_msg_0
+            op.belief[...] = belief
+            op.log_msg_1.fill(0.0)
+            op.log_msg_0.fill(0.0)
+            engine.edge_map(frontier, op)
+            z1 = log_prior_1 + op.log_msg_1
+            z0 = log_prior_0 + op.log_msg_0
             # Clamp the log-odds: beyond +-50 the sigmoid saturates anyway and
             # np.exp would overflow.
             new_belief = 1.0 / (1.0 + np.exp(np.clip(z0 - z1, -50.0, 50.0)))

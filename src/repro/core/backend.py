@@ -46,6 +46,7 @@ import hashlib
 import logging
 import os
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -56,7 +57,12 @@ import numpy as np
 
 from ..errors import BackendError, ValidationError
 from ..resilience.journal import PartitionRecord
-from .kernels import run_coo_partition, run_csc_partition, run_pcsr_partition
+from .kernels import (
+    run_coo_partition,
+    run_csc_partition,
+    run_csr_sparse_partition,
+    run_pcsr_partition,
+)
 from .ops import validated_cond
 from .stats import BackendStats
 
@@ -79,8 +85,8 @@ BACKEND_KINDS = ("serial", "process")
 
 #: option names each backend kind accepts in its spec.
 _SPEC_OPTIONS = {
-    "serial": frozenset(),
-    "process": frozenset({"workers", "chunk", "strict", "start"}),
+    "serial": frozenset({"prefetch"}),
+    "process": frozenset({"workers", "chunk", "strict", "start", "sparse", "prefetch"}),
 }
 
 
@@ -129,14 +135,33 @@ def backend_options(spec: str) -> tuple[str, dict[str, Any]]:
 
     Returns ``(kind, options)`` with ``workers`` (int >= 1), ``chunk``
     (``"auto"`` or int >= 1), ``strict`` (bool: refuse vs. silently
-    serialise uncertified operators) and ``start`` (multiprocessing
-    start method, or ``None`` for fork-with-spawn-fallback) resolved to
-    their defaults.  Raises :class:`~repro.errors.ValidationError` on
-    any ill-typed value.
+    serialise uncertified operators), ``start`` (multiprocessing start
+    method, or ``None`` for fork-with-spawn-fallback), ``sparse``
+    (bool: dispatch the sparse forward-CSR phase across partition
+    ranges too) and ``prefetch`` (int >= 0: grid read-ahead depth in
+    blocks, 0 disables) resolved to their defaults.  Raises
+    :class:`~repro.errors.ValidationError` on any ill-typed value.
     """
     kind, raw = parse_backend_spec(spec)
     options: dict[str, Any] = {}
+
+    def _prefetch() -> int:
+        prefetch_raw = raw.get("prefetch", "0")
+        try:
+            prefetch = int(prefetch_raw)
+        except ValueError:
+            raise ValidationError(
+                f"backend option 'prefetch' must be an integer >= 0, "
+                f"got {prefetch_raw!r}"
+            ) from None
+        if prefetch < 0:
+            raise ValidationError(
+                f"backend option 'prefetch' must be >= 0, got {prefetch}"
+            )
+        return prefetch
+
     if kind == "serial":
+        options["prefetch"] = _prefetch()
         return kind, options
     try:
         workers = int(raw.get("workers", _default_workers()))
@@ -167,6 +192,13 @@ def backend_options(spec: str) -> tuple[str, dict[str, Any]]:
             f"backend option 'strict' must be 0 or 1, got {strict_raw!r}"
         )
     options["strict"] = strict_raw == "1"
+    sparse_raw = raw.get("sparse", "0")
+    if sparse_raw not in ("0", "1"):
+        raise ValidationError(
+            f"backend option 'sparse' must be 0 or 1, got {sparse_raw!r}"
+        )
+    options["sparse"] = sparse_raw == "1"
+    options["prefetch"] = _prefetch()
     start = raw.get("start")
     if start is not None and start not in get_all_start_methods():
         raise ValidationError(
@@ -320,6 +352,19 @@ class _Segment:
             pass
 
 
+@dataclass
+class _StateSegment:
+    """One persistent state segment plus its publish generation tag.
+
+    The generation increments whenever the published content changes
+    (a dirty-span patch or a full re-create), giving tests and tooling
+    a cheap monotonic witness of how often state was actually shipped.
+    """
+
+    segment: _Segment
+    generation: int = 0
+
+
 def _attach_segment(ref: _ArrayRef) -> tuple[shared_memory.SharedMemory, np.ndarray]:
     """Worker-side attach; returns the handle (keep alive!) and the view."""
     try:
@@ -414,6 +459,13 @@ def _worker_run_chunk(
     """Execute one chunk of partition tasks inside a worker process."""
     holds: list[shared_memory.SharedMemory] = []
     try:
+        for name in opspec.get("retired", ()):
+            entry = _WORKER_SEGMENTS.pop(name, None)
+            if entry is not None:
+                try:
+                    entry[0].close()
+                except BufferError:  # pragma: no cover - view still exported
+                    pass
         cls = opspec["class"]
         _worker_verify_operator(cls, opspec["token"])
         op = object.__new__(cls)
@@ -425,7 +477,15 @@ def _worker_run_chunk(
         cond_fn = validated_cond if opspec["validate"] else _plain_cond
         out: list[PartitionRecord] = []
         for task in tasks:
-            if kernel == "csc":
+            if kernel == "csr":
+                # The driver gathered the frontier's adjacency once and
+                # shipped it through shared memory; each task only masks
+                # its destination range out of the same edge arrays.
+                rec = run_csr_sparse_partition(
+                    op, cond_fn, arrays["gsrc"], arrays["gdst"],
+                    meta["num_vertices"], task.partition, task.lo, task.hi,
+                )
+            elif kernel == "csc":
                 rec = run_csc_partition(
                     op, cond_fn, arrays["index"], arrays["neighbors"],
                     arrays["bitmap"], task.partition, task.lo, task.hi,
@@ -491,6 +551,16 @@ class ProcessBackend(ExecutionBackend):
         #: ``_pinned`` dict keeps the arrays alive so ids stay unique.
         self._layouts: dict[int, _Segment] = {}
         self._pinned: dict[int, np.ndarray] = {}
+        #: generation-tagged persistent state segments, keyed by
+        #: ``(scope, attr)`` — operator-state arrays scoped by operator
+        #: class, per-phase frontier arrays scoped ``"batch"``.  Unlike
+        #: the per-dispatch segments of the original design, these are
+        #: published once and only dirty spans are re-copied between
+        #: phases.
+        self._state_segments: dict[tuple[str, str], _StateSegment] = {}
+        #: recently retired segment names, shipped with every opspec so
+        #: workers drop their cached attachments.
+        self._retired_names: deque[str] = deque(maxlen=64)
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -542,6 +612,74 @@ class ProcessBackend(ExecutionBackend):
     def close(self) -> None:
         self._teardown_executor()
         self.discard_layouts()
+        for key in list(self._state_segments):
+            self._retire_state(key)
+
+    # -- persistent state segments -------------------------------------
+    def _retire_state(self, key: tuple[str, str]) -> None:
+        entry = self._state_segments.pop(key, None)
+        if entry is not None:
+            self._retired_names.append(entry.segment.shm.name)
+            entry.segment.release()
+
+    def segment_generation(self, scope: str, attr: str) -> int | None:
+        """Publish generation of one registered segment (observability)."""
+        entry = self._state_segments.get((scope, attr))
+        return entry.generation if entry is not None else None
+
+    def _publish_state(self, scope: str, attr: str, value: np.ndarray) -> _Segment:
+        """Publish one state array through the generation-tagged registry.
+
+        First publication creates a named segment (counted in
+        ``shm_bytes_mapped``); later publications re-use it: a value
+        that *is* the segment view (an adopted persistent-state array)
+        costs nothing, anything else is diffed against the published
+        content and only the dirty span is re-copied
+        (``shm_bytes_republished``).  Shape or dtype changes retire the
+        segment and start a fresh generation.
+        """
+        key = (scope, attr)
+        self.stats.shm_bytes_requested += int(value.nbytes)
+        entry = self._state_segments.get(key)
+        if entry is not None:
+            view = entry.segment.view
+            if (
+                view is not None
+                and view.shape == value.shape
+                and view.dtype == value.dtype
+            ):
+                self.stats.segments_reused += 1
+                if view is not value and self._patch_segment(entry.segment, value):
+                    entry.generation += 1
+                return entry.segment
+            self._retire_state(key)
+        segment = _Segment(value)
+        self._state_segments[key] = _StateSegment(segment)
+        self.stats.shm_bytes_mapped += segment.nbytes
+        if entry is not None:
+            # A re-created segment is a full re-publication, not a first
+            # mapping — charge it to the republish counter too.
+            self.stats.shm_bytes_republished += segment.nbytes
+        return segment
+
+    def _patch_segment(self, segment: _Segment, value: np.ndarray) -> bool:
+        """Copy ``value``'s dirty span into the published view.
+
+        Returns whether anything changed.  The span is the smallest
+        ``[first, last)`` flat range covering every differing element —
+        one memcpy bounded by what actually changed, instead of the
+        whole array.
+        """
+        published = segment.view.reshape(-1)
+        current = np.ascontiguousarray(value).reshape(-1)
+        diff = published != current
+        if not diff.any():
+            return False
+        first = int(diff.argmax())
+        last = int(diff.size - diff[::-1].argmax())
+        published[first:last] = current[first:last]
+        self.stats.shm_bytes_republished += (last - first) * current.itemsize
+        return True
 
     def _chunks(self, tasks: list[PartitionTask]) -> list[list[PartitionTask]]:
         if self.chunk == "auto":
@@ -579,35 +717,46 @@ class ProcessBackend(ExecutionBackend):
 
         executor = self._ensure_executor()
         op = request.op
-        transient: list[_Segment] = []
+        cls = type(op)
+        op_scope = f"{cls.__module__}:{cls.__qualname__}"
+        adopt = bool(getattr(cls, "persistent_state", False))
+        array_refs: dict[str, _ArrayRef] = {
+            key: self._layout_ref(arr) for key, arr in request.shared.items()
+        }
+        for key, arr in request.transient.items():
+            array_refs[key] = self._publish_state("batch", key, arr).ref(cache=True)
+        state: dict[str, tuple[_Segment, np.ndarray]] = {}
+        scalars: dict[str, Any] = {}
+        for attr, value in vars(op).items():
+            if isinstance(value, np.ndarray):
+                segment = self._publish_state(op_scope, attr, value)
+                if adopt and value is not segment.view:
+                    # Adopt: the operator's state attribute *becomes*
+                    # the shared-memory view, so the driver's in-place
+                    # updates land directly in the published segment
+                    # and later publishes are identity no-ops.
+                    setattr(op, attr, segment.view)
+                    value = segment.view
+                state[attr] = (segment, value)
+            else:
+                scalars[attr] = value
+        opspec = {
+            "class": cls,
+            "scalars": scalars,
+            "arrays": {
+                attr: seg.ref(cache=True) for attr, (seg, _) in state.items()
+            },
+            "token": signed_report_token(cls),
+            "validate": request.validate,
+            "retired": tuple(self._retired_names),
+        }
+        # Adopted write-set slices live in shared memory, so a failed
+        # batch would leave partial worker writes behind where the old
+        # copy-out design left the engine's arrays untouched.  Back them
+        # up parent-side and restore on any failure, preserving the
+        # "serial re-run starts pristine" fallback contract.
+        backup = self._backup_adopted(request, state)
         try:
-            array_refs: dict[str, _ArrayRef] = {
-                key: self._layout_ref(arr) for key, arr in request.shared.items()
-            }
-            for key, arr in request.transient.items():
-                segment = _Segment(arr)
-                transient.append(segment)
-                self.stats.shm_bytes_mapped += segment.nbytes
-                array_refs[key] = segment.ref(cache=False)
-            state: dict[str, tuple[_Segment, np.ndarray]] = {}
-            scalars: dict[str, Any] = {}
-            for attr, value in vars(op).items():
-                if isinstance(value, np.ndarray):
-                    segment = _Segment(value)
-                    transient.append(segment)
-                    self.stats.shm_bytes_mapped += segment.nbytes
-                    state[attr] = (segment, value)
-                else:
-                    scalars[attr] = value
-            opspec = {
-                "class": type(op),
-                "scalars": scalars,
-                "arrays": {
-                    attr: seg.ref(cache=False) for attr, (seg, _) in state.items()
-                },
-                "token": signed_report_token(type(op)),
-                "validate": request.validate,
-            }
             futures = [
                 executor.submit(
                     _worker_run_chunk, opspec, request.kernel,
@@ -626,9 +775,40 @@ class ProcessBackend(ExecutionBackend):
             self.stats.batches_dispatched += 1
             self.stats.partitions_dispatched += len(request.tasks)
             return [records[t.partition] for t in request.tasks]
-        finally:
-            for segment in transient:
-                segment.release()
+        except BaseException:
+            # Un-adopt before the error escapes: the engine responds to
+            # a backend failure by closing this backend (releasing every
+            # segment), so an operator left pointing at segment views
+            # would read unmapped memory on the serial re-run.  Written
+            # attributes get their pristine pre-dispatch backup; read-only
+            # ones a plain copy of the (unchanged) published content.
+            for attr, (segment, original) in state.items():
+                if original is not segment.view or segment.view is None:
+                    continue
+                saved = backup.get(attr)
+                setattr(
+                    op,
+                    attr,
+                    saved if saved is not None else segment.view.copy(),
+                )
+            raise
+
+    def _backup_adopted(
+        self,
+        request: BatchRequest,
+        state: dict[str, tuple[_Segment, np.ndarray]],
+    ) -> dict[str, np.ndarray]:
+        """Pre-dispatch copies of adopted write-set arrays (rollback)."""
+        report = operator_report_for_merge(type(request.op))
+        written = {attr for attr, _ in report.write_sets} if report else None
+        backup: dict[str, np.ndarray] = {}
+        for attr, (segment, original) in state.items():
+            if original is not segment.view:
+                continue  # workers write a copy; parent array untouched
+            if written is not None and attr not in written:
+                continue
+            backup[attr] = segment.view.copy()
+        return backup
 
     def _merge_state(
         self,
@@ -649,6 +829,11 @@ class ProcessBackend(ExecutionBackend):
         written = {attr for attr, _ in report.write_sets} if report else None
         n = request.num_vertices
         for attr, (segment, original) in state.items():
+            if original is segment.view:
+                # Adopted persistent state: the operator attribute *is*
+                # the shared segment, so the workers' disjoint-slice
+                # writes are already committed in place.
+                continue
             if written is not None and attr not in written:
                 continue
             if original.ndim >= 1 and original.shape[0] == n:

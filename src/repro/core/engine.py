@@ -80,7 +80,12 @@ from .backend import (
     make_backend,
 )
 from .gather import gather_adjacency
-from .kernels import run_coo_partition, run_csc_partition, run_pcsr_partition
+from .kernels import (
+    run_coo_partition,
+    run_csc_partition,
+    run_csr_sparse_partition,
+    run_pcsr_partition,
+)
 from .ops import EdgeOperator, snapshot_blind_spots, validated_cond
 from .options import EngineOptions
 from .stats import BackendStats, EdgeMapStats, RunStats, VertexMapStats
@@ -88,6 +93,12 @@ from .stats import BackendStats, EdgeMapStats, RunStats, VertexMapStats
 __all__ = ["Engine"]
 
 log = logging.getLogger(__name__)
+
+#: minimum estimated frontier edge work before the sparse CSR phase is
+#: worth splitting across the process backend — below this the per-batch
+#: dispatch overhead dominates any parallel win.  Module-level so tests
+#: can monkeypatch it to 0 and exercise the parallel path on toy graphs.
+SPARSE_DISPATCH_MIN_EDGES = 2048
 
 
 class Engine:
@@ -148,6 +159,10 @@ class Engine:
         self._backend_obj: ExecutionBackend | None = None
         self._serial_backend = SerialBackend()
         self._backend_finalizer = None
+        if grid is not None:
+            depth = int(self._backend_conf.get("prefetch", 0) or 0)
+            if depth > 0:
+                grid.enable_prefetch(depth)
         #: whether the current edge-map phase may run concurrently
         #: (certified operator + non-serial backend); set at admission.
         self._phase_concurrent = False
@@ -188,13 +203,16 @@ class Engine:
         return self._backend_obj
 
     def close(self) -> None:
-        """Shut down the execution backend (worker pool, shm segments)."""
+        """Shut down the execution backend (worker pool, shm segments)
+        and the grid's background reader, when either exists."""
         if self._backend_finalizer is not None:
             self._backend_finalizer.detach()
             self._backend_finalizer = None
         if self._backend_obj is not None:
             self._backend_obj.close()
             self._backend_obj = None
+        if self.grid is not None:
+            self.grid.close()
 
     def __enter__(self) -> "Engine":
         return self
@@ -325,13 +343,19 @@ class Engine:
         """Switch this engine to out-of-core grid execution.
 
         All subsequent edge-maps stream ``grid``'s blocks under its
-        memory budget instead of traversing the in-RAM layouts.
+        memory budget instead of traversing the in-RAM layouts.  The
+        backend spec's ``prefetch=N`` knob starts the grid's background
+        reader so block k+1's disk read overlaps block k's compute.
         """
         self.grid = grid
+        depth = int(self._backend_conf.get("prefetch", 0) or 0)
+        if depth > 0:
+            grid.enable_prefetch(depth)
         self.resilience_log.append(
             f"grid execution attached: {grid.num_stripes}x{grid.num_stripes} "
             f"blocks, {grid.total_bytes()} B on disk, budget "
-            f"{grid.budget.limit_bytes or 'unlimited'}"
+            f"{grid.budget.limit_bytes or 'unlimited'}, "
+            f"prefetch {'x' + str(depth) if depth > 0 else 'off'}"
         )
 
     def _edge_map_dispatch(self, frontier: Frontier, op: EdgeOperator) -> Frontier:
@@ -523,6 +547,7 @@ class Engine:
             self.store.edges,
             spill_dir,
             num_stripes=policy.grid_stripes,
+            stripe_mode=getattr(policy, "grid_stripe_mode", "vertex"),
             budget=policy.memory_budget,
             fault_plan=self._fault_plan,
         )
@@ -847,6 +872,10 @@ class Engine:
         self, frontier: Frontier, op: EdgeOperator, density: DensityClass
     ) -> Frontier:
         active = frontier.as_sparse()
+        if self._sparse_parallel_admitted(active):
+            return self._edge_map_sparse_csr_partitioned(
+                frontier, op, density, active
+            )
         csr = self.store.csr
         src, dst = gather_adjacency(csr.index, csr.neighbors, active)
         examined = int(dst.size)
@@ -862,6 +891,103 @@ class Engine:
                 density=density,
                 frontier_size=frontier.size,
                 active_edges=int(dst.size),
+                examined_edges=examined,
+                scanned_vertices=int(active.size),
+                updated_vertices=nxt.size,
+                uses_atomics=self.options.num_threads > 1,
+                num_partitions=1,
+            )
+        )
+        return nxt
+
+    def _sparse_parallel_admitted(self, active: np.ndarray) -> bool:
+        """Whether this sparse phase should split across partition ranges.
+
+        Requires an admitted concurrent phase (certified operator +
+        non-serial backend), the ``sparse=1`` spec knob, more than one
+        partition to split over, and enough estimated frontier edge
+        work to amortise the dispatch."""
+        if not (self._phase_concurrent and self._backend_conf.get("sparse")):
+            return False
+        if self.store.partition.num_partitions <= 1:
+            return False
+        est_edges = int(self.store.out_degrees[active].sum())
+        return est_edges >= SPARSE_DISPATCH_MIN_EDGES
+
+    def _edge_map_sparse_csr_partitioned(
+        self,
+        frontier: Frontier,
+        op: EdgeOperator,
+        density: DensityClass,
+        active: np.ndarray,
+    ) -> Frontier:
+        """Sparse forward CSR, split across destination partition ranges.
+
+        The frontier's out-adjacency is gathered *once in the driver*
+        and shipped to the workers through shared memory; each task
+        masks its disjoint ``[lo, hi)`` destination slice out of the
+        gathered edges — per-destination edge order is preserved, so a
+        partition-pure operator accumulates bit-identically to the
+        serial whole-range traversal regardless of task order.  Because
+        every task re-scans the whole gathered edge list for its mask,
+        the partition ranges are coarsened to ~2x the worker count
+        (splitting along partition boundaries) instead of one task per
+        partition — the masking work stays O(workers x |F_edges|), not
+        O(p x |F_edges|).  The emitted :class:`EdgeMapStats` mirrors the
+        serial sparse phase exactly (``num_partitions=1``, no
+        per-partition arrays) so the cost model stays backend-invariant.
+        """
+        csr = self.store.csr
+        n = self.num_vertices
+        ranges = self.store.partition
+        p = ranges.num_partitions
+        workers = int(self._backend_conf.get("workers") or 1)
+        num_tasks = min(p, max(1, 2 * workers))
+        cuts = [(g * p) // num_tasks for g in range(num_tasks + 1)]
+        coarse = [
+            (
+                ranges.vertex_range(cuts[g])[0],
+                ranges.vertex_range(cuts[g + 1] - 1)[1],
+            )
+            for g in range(num_tasks)
+        ]
+        tasks = [
+            PartitionTask(g, *coarse[g])
+            for g in self._partition_schedule(num_tasks)
+        ]
+        gsrc, gdst = gather_adjacency(csr.index, csr.neighbors, active)
+
+        def body(task: PartitionTask) -> PartitionRecord:
+            return run_csr_sparse_partition(
+                op, self._cond, gsrc, gdst, n, task.partition, task.lo, task.hi
+            )
+
+        examined = 0
+        active_edges = 0
+        activated_parts: list[np.ndarray] = []
+        for rec in self._run_partition_batch(
+            op, "csr", tasks,
+            shared={},
+            transient={"gsrc": gsrc, "gdst": gdst},
+            meta={"num_vertices": n},
+            inline_body=body,
+        ):
+            examined += rec.examined
+            active_edges += rec.active_edges
+            if rec.activated.size:
+                activated_parts.append(rec.activated)
+        nxt = self._make_frontier(
+            np.concatenate(activated_parts)
+            if activated_parts
+            else np.empty(0, VID_DTYPE)
+        )
+        self.stats.edge_maps.append(
+            EdgeMapStats(
+                layout="csr",
+                direction="forward",
+                density=density,
+                frontier_size=frontier.size,
+                active_edges=active_edges,
                 examined_edges=examined,
                 scanned_vertices=int(active.size),
                 updated_vertices=nxt.size,
@@ -1077,19 +1203,39 @@ class Engine:
             digest = journal.stripe_digest(j)
             if digest is not None and self._slice_digest(op, lo, hi) != digest:
                 journal.drop_stripe(j)
-        records: list[PartitionRecord] = []
+        # Decide the whole stripe's block plan up front — skip (inactive
+        # source stripe), replay (journaled) or read — and hand the read
+        # list to the grid's background reader in consumption order.
+        # Every input to the decision (block edge counts, the frontier
+        # bitmap, the journal's committed blocks) is fixed for the
+        # stripe, so the plan equals what the loop would have decided
+        # inline; schedule_reads cancels any stale schedule first, which
+        # is how skip decisions retire prefetches they obsoleted.
+        plan: list[tuple[int, str]] = []
+        reads: list[tuple[int, int]] = []
         for i in range(grid.num_stripes):
             if grid.block_edges(i, j) == 0:
                 continue
             if not stripe_active[i]:
+                plan.append((i, "skip"))
+                continue
+            if journal is not None and journal.completed_block(j, i) is not None:
+                plan.append((i, "replay"))
+                continue
+            plan.append((i, "read"))
+            reads.append((i, j))
+        if grid.prefetch_enabled:
+            grid.schedule_reads(reads)
+        records: list[PartitionRecord] = []
+        for i, step in plan:
+            if step == "skip":
                 grid.stats.blocks_skipped += 1
                 continue
+            if step == "replay":
+                journal.note_block_replay(j, i)
+                records.append(journal.completed_block(j, i))
+                continue
             if journal is not None:
-                rec = journal.completed_block(j, i)
-                if rec is not None:
-                    journal.note_block_replay(j, i)
-                    records.append(rec)
-                    continue
                 journal.note_block_execution(j, i)
             block = grid.read_block(i, j)
             if block.nbytes:

@@ -29,7 +29,12 @@ from .._types import VID_DTYPE
 from ..resilience.journal import PartitionRecord
 from .gather import gather_adjacency
 
-__all__ = ["run_csc_partition", "run_coo_partition", "run_pcsr_partition"]
+__all__ = [
+    "run_csc_partition",
+    "run_coo_partition",
+    "run_pcsr_partition",
+    "run_csr_sparse_partition",
+]
 
 
 def run_csc_partition(
@@ -63,6 +68,47 @@ def run_csc_partition(
         touched=int(np.unique(dst_live).size),
         active_edges=int(src_live.size),
         scanned=hi - lo,
+        cond_calls=1,
+    )
+
+
+def run_csr_sparse_partition(
+    op,
+    cond_fn,
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+    partition: int,
+    lo: int,
+    hi: int,
+) -> PartitionRecord:
+    """One destination-range slice of the sparse forward-CSR traversal.
+
+    ``src``/``dst`` are the edges already gathered from the frontier's
+    out-adjacency (frontier-sorted, so per-destination edge order is the
+    gather order).  Restricting to ``dst in [lo, hi)`` preserves that
+    relative order, and every edge targeting a given destination lands
+    in exactly one partition — which is why running the slices in any
+    order (or concurrently) accumulates bit-identically to the serial
+    whole-range call for partition-pure operators.  The serial path
+    passes the whole range ``[0, num_vertices)`` and skips the mask.
+    """
+    if lo > 0 or hi < num_vertices:
+        sel = (dst >= lo) & (dst < hi)
+        src, dst = src[sel], dst[sel]
+    examined = int(dst.size)
+    cond = cond_fn(op, dst)
+    if cond is not None:
+        src, dst = src[cond], dst[cond]
+    acts = op.process_edges(src, dst)
+    return PartitionRecord(
+        partition=partition,
+        lo=lo,
+        hi=hi,
+        activated=acts,
+        examined=examined,
+        touched=int(np.unique(dst).size),
+        active_edges=int(dst.size),
         cond_calls=1,
     )
 

@@ -104,10 +104,14 @@ class Frontier:
         """
         if self.is_empty:
             return 0
-        if self._sparse is not None and self._sparse.size < self.num_vertices // 8:
+        # Use whichever representation is already materialised — never
+        # build the other one just to sum degrees.  The sparse ids are
+        # unique and sorted, so both sums visit the same elements in
+        # ascending id order and the result is bit-identical.
+        if self._sparse is not None:
             deg = int(out_degrees[self._sparse].sum())
         else:
-            deg = int(out_degrees[self.as_bitmap()].sum())
+            deg = int(out_degrees[self._bitmap].sum())
         return self._size + deg
 
     # ------------------------------------------------------------------

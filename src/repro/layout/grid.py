@@ -38,7 +38,9 @@ block write*, ``io_error``/``slow_io`` on the *Nth block read* (see
 from __future__ import annotations
 
 import json
+import threading
 import zlib
+from collections import deque
 from pathlib import Path
 from typing import NamedTuple
 
@@ -64,7 +66,9 @@ __all__ = [
     "BlockRead",
     "preprocess_grid",
     "choose_grid_stripes",
+    "grid_stripe_boundaries",
     "GRID_MANIFEST",
+    "STRIPE_MODES",
 ]
 
 #: the manifest file name; its presence is the grid's commit point.
@@ -79,6 +83,35 @@ _MAX_READ_ATTEMPTS = 3
 
 def _block_filename(i: int, j: int) -> str:
     return f"block-{i:04d}-{j:04d}.grb"
+
+
+#: stripe boundary assignment modes: equal vertex ranges, or BBC-style
+#: degree-balanced ranges that equalise incident-edge weight per stripe.
+STRIPE_MODES = ("vertex", "degree")
+
+
+def grid_stripe_boundaries(
+    edges: EdgeList, num_stripes: int, stripe_mode: str = "vertex"
+) -> VertexPartition:
+    """Stripe boundary assignment for a P×P grid.
+
+    ``"vertex"`` cuts equal vertex ranges (GridGraph's default).
+    ``"degree"`` weights each vertex by its incident-edge count
+    (out-degree + in-degree, the BBC balance criterion) so skewed graphs
+    stop concentrating most edges in one giant block that defeats the
+    LRU budget — each stripe then owns roughly equal edge mass.
+    """
+    if stripe_mode not in STRIPE_MODES:
+        raise ValidationError(
+            f"unknown stripe mode {stripe_mode!r}; expected one of {STRIPE_MODES}"
+        )
+    n = max(edges.num_vertices, 1)
+    if stripe_mode == "vertex":
+        return VertexPartition.equal_vertices(n, num_stripes)
+    weights = (
+        np.bincount(edges.src, minlength=n) + np.bincount(edges.dst, minlength=n)
+    ).astype(np.float64)
+    return VertexPartition.from_weights(weights, num_stripes)
 
 
 def choose_grid_stripes(
@@ -132,11 +165,14 @@ class GridStats:
         self.blocks_skipped = 0
         #: over-budget blocks streamed through without entering the cache.
         self.uncached_reads = 0
+        #: blocks served from the background read-ahead thread.
+        self.prefetched = 0
 
     def summary(self) -> str:
         return (
             f"reads {self.block_reads} ({self.bytes_read / 1024:.1f} KiB), "
-            f"cache hits {self.cache_hits}, skipped {self.blocks_skipped}, "
+            f"cache hits {self.cache_hits}, prefetched {self.prefetched}, "
+            f"skipped {self.blocks_skipped}, "
             f"repairs {self.repairs}, io retries {self.io_retries}, "
             f"slow reads {self.slow_reads}, write retries {self.write_retries}"
         )
@@ -175,6 +211,7 @@ def preprocess_grid(
     directory: str | Path,
     num_stripes: int,
     *,
+    stripe_mode: str = "vertex",
     fault_plan=None,
     source: dict | None = None,
     events: list[str] | None = None,
@@ -193,7 +230,7 @@ def preprocess_grid(
         raise ValidationError("num_stripes must be >= 1")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    stripes = VertexPartition.equal_vertices(max(edges.num_vertices, 1), num_stripes)
+    stripes = grid_stripe_boundaries(edges, num_stripes, stripe_mode)
     src, dst, pid_src, pid_dst = _shard_edges(edges, stripes)
     events = events if events is not None else []
     blocks = []
@@ -226,6 +263,7 @@ def preprocess_grid(
         "num_vertices": edges.num_vertices,
         "num_edges": edges.num_edges,
         "num_stripes": num_stripes,
+        "stripe_mode": stripe_mode,
         "boundaries": [int(b) for b in stripes.boundaries],
         "source": source,
         "blocks": blocks,
@@ -310,10 +348,14 @@ class GridStore:
         self.stats = GridStats()
         #: human-readable I/O event history (repairs, retries, faults).
         self.events: list[str] = []
+        #: stripe boundary mode the grid was sharded with (older grids
+        #: predate the key and are always equal-vertex).
+        self.stripe_mode = manifest.get("stripe_mode", "vertex")
         self._blocks = {(int(b["i"]), int(b["j"])): b for b in manifest["blocks"]}
         self._cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         self._edges = edges
         self._read_ops = 0
+        self._prefetcher: _BlockPrefetcher | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -323,6 +365,7 @@ class GridStore:
         directory: str | Path,
         *,
         num_stripes: int | None = None,
+        stripe_mode: str = "vertex",
         budget: MemoryBudget | int | None = None,
         fault_plan=None,
         source: dict | None = None,
@@ -339,7 +382,7 @@ class GridStore:
             )
         events: list[str] = []
         manifest = preprocess_grid(
-            edges, directory, num_stripes,
+            edges, directory, num_stripes, stripe_mode=stripe_mode,
             fault_plan=fault_plan, source=source, events=events,
         )
         store = cls(
@@ -385,23 +428,63 @@ class GridStore:
 
     # ------------------------------------------------------------------
     def read_block(self, i: int, j: int) -> BlockRead:
-        """Serve block ``(i, j)``: cache, else disk (verified, budgeted).
+        """Serve block ``(i, j)``: prefetcher, cache, else disk.
 
         Transient read faults re-read in place (bounded attempts, then
         :class:`~repro.errors.GridIOError`); CRC failures trigger
         repair-on-read; the admitted block is charged to the budget,
-        evicting LRU residents.
+        evicting LRU residents.  With read-ahead enabled, blocks the
+        engine scheduled are served from the background reader — which
+        ran this very same cache/fault/budget sequence for them, in
+        schedule order, so the streaming state evolves identically.
         """
         key = (i, j)
         entry = self._blocks.get(key)
         if entry is None:
             empty = np.empty(0, dtype=VID_DTYPE)
             return BlockRead(empty, empty, 0, False)
+        if self._prefetcher is not None:
+            block = self._prefetcher.take(key)
+            if block is not None:
+                self.stats.prefetched += 1
+                return block
+            # Unscheduled key: take() waited for the reader to go idle,
+            # so the synchronous path below is the only mutator again.
+        return self._serve_block(key, entry)
+
+    def _serve_block(self, key: tuple[int, int], entry: dict) -> BlockRead:
+        """Cache-or-disk service of one block; the single-mutator path."""
+        i, j = key
         if key in self._cache:
             self.stats.cache_hits += 1
             self.budget.touch(key)
             src, dst = self._cache[key]
             return BlockRead(src, dst, 0, False)
+        payload, slow = self._fetch_payload(i, j, entry)
+        n = int(entry["edges"])
+        arr = np.frombuffer(payload, dtype=VID_DTYPE)
+        src, dst = arr[:n], arr[n:]
+        limit = self.budget.limit_bytes
+        if limit is not None and len(payload) > limit:
+            # A single block larger than the whole budget (heavy hub
+            # stripe) is streamed through uncached rather than failing:
+            # the cache governor never sees it, so the resident
+            # high-water stays within budget.
+            self.stats.uncached_reads += 1
+            self.events.append(
+                f"block ({i},{j}) exceeds the budget "
+                f"({len(payload)} B > {limit} B); streaming uncached"
+            )
+        else:
+            for evicted in self.budget.admit(key, len(payload)):
+                self._cache.pop(evicted, None)
+            self._cache[key] = (src, dst)
+        self.stats.block_reads += 1
+        self.stats.bytes_read += len(payload)
+        return BlockRead(src, dst, len(payload), slow)
+
+    def _fetch_payload(self, i: int, j: int, entry: dict) -> tuple[bytes, bool]:
+        """One block's disk payload: fault injection, retries, CRC repair."""
         slow = False
         payload = None
         for _ in range(_MAX_READ_ATTEMPTS):
@@ -428,27 +511,44 @@ class GridStore:
                 f"grid block ({i},{j}) unreadable after "
                 f"{_MAX_READ_ATTEMPTS} attempts"
             )
-        n = int(entry["edges"])
-        arr = np.frombuffer(payload, dtype=VID_DTYPE)
-        src, dst = arr[:n], arr[n:]
-        limit = self.budget.limit_bytes
-        if limit is not None and len(payload) > limit:
-            # A single block larger than the whole budget (heavy hub
-            # stripe) is streamed through uncached rather than failing:
-            # the cache governor never sees it, so the resident
-            # high-water stays within budget.
-            self.stats.uncached_reads += 1
-            self.events.append(
-                f"block ({i},{j}) exceeds the budget "
-                f"({len(payload)} B > {limit} B); streaming uncached"
-            )
-        else:
-            for evicted in self.budget.admit(key, len(payload)):
-                self._cache.pop(evicted, None)
-            self._cache[key] = (src, dst)
-        self.stats.block_reads += 1
-        self.stats.bytes_read += len(payload)
-        return BlockRead(src, dst, len(payload), slow)
+        return payload, slow
+
+    # -- double-buffered read-ahead ------------------------------------
+    def enable_prefetch(self, depth: int) -> None:
+        """Start the background reader with ``depth`` read-ahead slots.
+
+        ``depth <= 0`` is a no-op (synchronous reads).  In-flight
+        read-ahead bytes are additionally bounded by the budget's
+        reserved prefetch quota, so enabling read-ahead can never blow
+        the memory discipline the budget proves.
+        """
+        if depth <= 0 or self._prefetcher is not None:
+            return
+        self._prefetcher = _BlockPrefetcher(self, depth)
+
+    @property
+    def prefetch_enabled(self) -> bool:
+        return self._prefetcher is not None
+
+    def schedule_reads(self, keys: list[tuple[int, int]]) -> None:
+        """Hand the background reader the blocks the next stripe will
+        consume, in consumption order.  Cancels any stale schedule first
+        (a selective-scheduling skip or an aborted phase leaves one), so
+        the reader never warms blocks the engine decided not to visit.
+        No-op when read-ahead is disabled."""
+        if self._prefetcher is not None:
+            self._prefetcher.schedule(keys)
+
+    def cancel_prefetch(self) -> None:
+        """Drop any scheduled-but-unconsumed read-ahead."""
+        if self._prefetcher is not None:
+            self._prefetcher.cancel()
+
+    def close(self) -> None:
+        """Stop the background reader (idempotent; sync reads still work)."""
+        if self._prefetcher is not None:
+            self._prefetcher.close()
+            self._prefetcher = None
 
     def _read_verified(self, i: int, j: int, entry: dict) -> bytes:
         """One disk read, CRC-checked against the manifest; repairs torn blocks."""
@@ -528,3 +628,150 @@ class GridStore:
             f"|V|={self.num_vertices}, |E|={self.num_edges}, "
             f"{len(self._blocks)} blocks, {self.total_bytes()} B)"
         )
+
+
+class _BlockPrefetcher:
+    """Background reader double-buffering grid block reads.
+
+    The engine announces each stripe's read list up front
+    (:meth:`GridStore.schedule_reads`); the reader thread then executes
+    those keys *strictly in schedule order* through the very same
+    :meth:`GridStore._serve_block` path the synchronous loop uses —
+    cache-hit classification, fault injection keyed on ``_read_ops``,
+    CRC repair, LRU admission and eviction all happen reader-side, in
+    the same sequence they would have happened without read-ahead.  The
+    consumer only collects finished :class:`BlockRead` results, so the
+    streaming state (cache contents, budget counters, fault schedule)
+    evolves identically with and without prefetch — block k+1's disk
+    read overlaps block k's compute, realising the cost model's
+    ``max(compute, io)`` instead of ``compute + io``.
+
+    Read-ahead is bounded two ways: at most ``depth`` unconsumed
+    results, and in-flight payload bytes reserved against
+    :meth:`MemoryBudget.reserve_prefetch` (released when the engine
+    consumes the block), so the memory discipline the budget proves
+    extends over the read-ahead slots.
+
+    A failed read is delivered to the consumer as the raised exception
+    and the rest of the schedule is dropped — the phase aborts either
+    way, and the supervised retry re-schedules from scratch.  After an
+    abort the reader may have fetched up to ``depth`` blocks the
+    retried phase re-serves from cache; chaos tests therefore assert
+    result bit-identity, not event-log equality.
+    """
+
+    def __init__(self, store: GridStore, depth: int) -> None:
+        self.store = store
+        self.depth = max(1, int(depth))
+        self._cv = threading.Condition()
+        self._queue: deque[tuple[int, int]] = deque()
+        #: keys scheduled but not yet finished (queue + in-flight).
+        self._scheduled: set[tuple[int, int]] = set()
+        self._inflight: tuple[int, int] | None = None
+        #: key -> ("ok", BlockRead, reserved_bytes) | ("err", exception)
+        self._results: dict[tuple[int, int], tuple] = {}
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="grid-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    # -- consumer side --------------------------------------------------
+    def schedule(self, keys) -> None:
+        with self._cv:
+            self._cancel_locked()
+            fresh = [(int(i), int(j)) for i, j in keys]
+            self._queue.extend(fresh)
+            self._scheduled.update(fresh)
+            self._cv.notify_all()
+
+    def cancel(self) -> None:
+        with self._cv:
+            self._cancel_locked()
+
+    def close(self) -> None:
+        with self._cv:
+            self._cancel_locked()
+            self._closed = True
+            self._cv.notify_all()
+        self._thread.join()
+
+    def take(self, key: tuple[int, int]) -> BlockRead | None:
+        """The scheduled read for ``key`` (blocking), or ``None``.
+
+        ``None`` means the key was never scheduled (or its schedule was
+        cancelled); in that case this waits for the reader to go idle
+        first, so the caller's synchronous read is the only
+        cache/budget mutator.  Re-raises the reader's exception when
+        the scheduled read failed.
+        """
+        with self._cv:
+            while True:
+                state = self._results.pop(key, None)
+                if state is not None:
+                    self._cv.notify_all()  # freed a read-ahead slot
+                    if state[0] == "err":
+                        raise state[1]
+                    _, block, reserved = state
+                    self.store.budget.release_prefetch(reserved)
+                    return block
+                if key not in self._scheduled:
+                    while self._scheduled or self._inflight is not None:
+                        self._cv.wait()
+                    return None
+                self._cv.wait()
+
+    def _cancel_locked(self) -> None:
+        for key in self._queue:
+            self._scheduled.discard(key)
+        self._queue.clear()
+        while self._inflight is not None:
+            self._cv.wait()
+        for state in self._results.values():
+            if state[0] == "ok":
+                self.store.budget.release_prefetch(state[2])
+        self._results.clear()
+        self._cv.notify_all()
+
+    # -- reader thread --------------------------------------------------
+    def _run(self) -> None:
+        budget = self.store.budget
+        empty = np.empty(0, dtype=VID_DTYPE)
+        while True:
+            with self._cv:
+                while True:
+                    if self._closed:
+                        return
+                    if self._queue and len(self._results) < self.depth:
+                        key = self._queue[0]
+                        entry = self.store._blocks.get(key)
+                        reserved = int(entry["bytes"]) if entry else 0
+                        # Reservation happens under the lock, so a
+                        # concurrent cancel cannot orphan a half-claimed
+                        # key: it is popped only once the quota admits it.
+                        if budget.reserve_prefetch(reserved):
+                            self._queue.popleft()
+                            self._inflight = key
+                            break
+                    self._cv.wait()
+            try:
+                block = (
+                    self.store._serve_block(key, entry)
+                    if entry is not None
+                    else BlockRead(empty, empty, 0, False)
+                )
+                state = ("ok", block, reserved)
+            except BaseException as exc:  # delivered to the consumer
+                budget.release_prefetch(reserved)
+                state = ("err", exc)
+            with self._cv:
+                self._inflight = None
+                self._scheduled.discard(key)
+                self._results[key] = state
+                if state[0] == "err":
+                    # The phase aborts on this error; the rest of the
+                    # schedule is stale.
+                    for k in self._queue:
+                        self._scheduled.discard(k)
+                    self._queue.clear()
+                self._cv.notify_all()

@@ -82,6 +82,11 @@ class ResiliencePolicy:
         Explicit grid granularity P; ``None`` (default) derives it from
         the budget via
         :func:`~repro.layout.grid.choose_grid_stripes`.
+    grid_stripe_mode:
+        Stripe boundary assignment for the spilled grid: ``"vertex"``
+        (equal vertex ranges, default) or ``"degree"`` (BBC-style
+        edge-balanced ranges for skewed graphs; see
+        :func:`~repro.layout.grid.grid_stripe_boundaries`).
     sleep:
         Injection point for tests; defaults to :func:`time.sleep`.
     """
@@ -98,6 +103,7 @@ class ResiliencePolicy:
     memory_budget: int | str | None = None
     spill_dir: str | None = None
     grid_stripes: int | None = None
+    grid_stripe_mode: str = "vertex"
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
     def __post_init__(self) -> None:
@@ -105,6 +111,11 @@ class ResiliencePolicy:
             raise ValueError("max_retries must be >= 0")
         if self.min_partitions < 1:
             raise ValueError("min_partitions must be >= 1")
+        if self.grid_stripe_mode not in ("vertex", "degree"):
+            raise ValueError(
+                f"grid_stripe_mode must be 'vertex' or 'degree', "
+                f"got {self.grid_stripe_mode!r}"
+            )
         if self.memory_budget is not None:
             # Deferred import: core.budget sits below core/__init__, which
             # imports the engine, which imports this module.

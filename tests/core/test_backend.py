@@ -40,9 +40,10 @@ def test_unknown_option_is_refused():
         parse_backend_spec("process:depth=3")
 
 
-def test_serial_accepts_no_options():
+def test_serial_accepts_only_prefetch():
     with pytest.raises(ValidationError, match="does not accept option"):
         parse_backend_spec("serial:workers=2")
+    assert parse_backend_spec("serial:prefetch=2") == ("serial", {"prefetch": "2"})
 
 
 def test_malformed_option_is_refused():
@@ -67,8 +68,24 @@ def test_validation_error_is_both_graph_error_and_value_error():
 # ----------------------------------------------------------------------
 # backend_options: typed resolution
 # ----------------------------------------------------------------------
-def test_serial_has_no_typed_options():
-    assert backend_options("serial") == ("serial", {})
+def test_serial_typed_options_are_prefetch_only():
+    assert backend_options("serial") == ("serial", {"prefetch": 0})
+    assert backend_options("serial:prefetch=3") == ("serial", {"prefetch": 3})
+
+
+def test_sparse_and_prefetch_are_typed():
+    kind, options = backend_options("process:workers=2:sparse=1:prefetch=2")
+    assert kind == "process"
+    assert options["sparse"] is True
+    assert options["prefetch"] == 2
+    assert backend_options("process")[1]["sparse"] is False
+    assert backend_options("process")[1]["prefetch"] == 0
+    with pytest.raises(ValidationError, match="sparse"):
+        backend_options("process:sparse=yes")
+    with pytest.raises(ValidationError, match="prefetch"):
+        backend_options("process:prefetch=-1")
+    with pytest.raises(ValidationError, match="prefetch"):
+        backend_options("serial:prefetch=deep")
 
 
 def test_process_defaults_are_resolved():

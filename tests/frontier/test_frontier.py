@@ -113,3 +113,16 @@ def test_unhashable():
 
 def test_repr():
     assert "2/5" in repr(Frontier.of(5, 0, 1))
+
+
+def test_active_edge_metric_does_not_materialise_the_other_representation():
+    # The density decision runs every phase: summing degrees must use
+    # whichever representation the frontier already has, not build the
+    # bitmap (or the sparse ids) just to index with it.
+    out_deg = np.array([3, 1, 2, 4], dtype=np.int64)
+    f = Frontier(4, sparse=np.array([0, 2], dtype=np.uint32))
+    assert f.active_edge_metric(out_deg) == 2 + 5
+    assert not f.has_bitmap
+    g = Frontier(4, bitmap=np.array([True, False, True, False]))
+    assert g.active_edge_metric(out_deg) == 2 + 5
+    assert not g.has_sparse

@@ -17,6 +17,7 @@ from repro.layout.grid import (
     GRID_MANIFEST,
     GridStore,
     choose_grid_stripes,
+    grid_stripe_boundaries,
     preprocess_grid,
 )
 from repro.resilience import FaultPlan
@@ -270,3 +271,202 @@ def test_torn_write_heals_on_read(edges, tmp_path):
     block = grid.read_block(*corrupt[0])
     assert grid.stats.repairs == 1
     assert len(block.src) == grid.block_edges(*corrupt[0])
+
+
+# ----------------------------------------------------------------------
+# stripe modes
+
+
+def _skewed_edges():
+    # A hub-and-chain graph: vertex 0 touches every edge, so equal-vertex
+    # stripes concentrate all the mass in the stripe containing the hub.
+    n = 64
+    hub_dst = np.arange(1, n, dtype=np.int64)
+    hub_src = np.zeros(n - 1, dtype=np.int64)
+    chain_src = np.arange(1, n - 1, dtype=np.int64)
+    chain_dst = np.arange(2, n, dtype=np.int64)
+    from repro.graph.edgelist import EdgeList
+
+    return EdgeList(
+        n,
+        np.concatenate([hub_src, chain_src]),
+        np.concatenate([hub_dst, chain_dst]),
+    )
+
+
+def test_degree_stripes_balance_edge_mass():
+    edges = _skewed_edges()
+    vertex = grid_stripe_boundaries(edges, 4, "vertex")
+    degree = grid_stripe_boundaries(edges, 4, "degree")
+
+    def stripe_mass(part):
+        weights = np.bincount(edges.src, minlength=edges.num_vertices) + np.bincount(
+            edges.dst, minlength=edges.num_vertices
+        )
+        return [
+            int(weights[lo:hi].sum())
+            for lo, hi in (part.vertex_range(i) for i in range(4))
+        ]
+
+    assert max(stripe_mass(degree)) < max(stripe_mass(vertex))
+
+
+def test_degree_mode_round_trips_and_records_manifest(tmp_path):
+    edges = _skewed_edges()
+    grid = GridStore.build(
+        edges, tmp_path, num_stripes=4, stripe_mode="degree"
+    )
+    assert grid.stripe_mode == "degree"
+    assert GridStore.open(tmp_path).stripe_mode == "degree"
+    total = 0
+    src_all, dst_all = [], []
+    for i in range(4):
+        for j in range(4):
+            block = grid.read_block(i, j)
+            total += len(block.src)
+            src_all.append(block.src)
+            dst_all.append(block.dst)
+    assert total == edges.num_edges
+    src, dst = np.concatenate(src_all), np.concatenate(dst_all)
+    got = np.lexsort((dst, src))
+    want = np.lexsort((edges.dst, edges.src))
+    assert np.array_equal(src[got], edges.src[want])
+    assert np.array_equal(dst[got], edges.dst[want])
+
+
+def test_degree_mode_shrinks_the_biggest_block(tmp_path):
+    edges = _skewed_edges()
+    vertex = GridStore.build(
+        edges, tmp_path / "v", num_stripes=4, stripe_mode="vertex"
+    )
+    degree = GridStore.build(
+        edges, tmp_path / "d", num_stripes=4, stripe_mode="degree"
+    )
+    biggest = lambda g: max(e["edges"] for e in g.manifest["blocks"])  # noqa: E731
+    assert biggest(degree) < biggest(vertex)
+
+
+def test_unknown_stripe_mode_rejected():
+    with pytest.raises(ValidationError):
+        grid_stripe_boundaries(_skewed_edges(), 4, "rainbow")
+
+
+# ----------------------------------------------------------------------
+# double-buffered prefetch
+
+
+def _all_keys(grid):
+    return [(int(e["i"]), int(e["j"])) for e in grid.manifest["blocks"]]
+
+
+def test_prefetch_serves_scheduled_blocks_identically(edges, tmp_path):
+    sync = GridStore.build(edges, tmp_path / "sync", num_stripes=3)
+    grid = GridStore.build(edges, tmp_path / "pf", num_stripes=3)
+    grid.enable_prefetch(2)
+    assert grid.prefetch_enabled
+    keys = _all_keys(grid)
+    grid.schedule_reads(keys)
+    try:
+        for i, j in keys:
+            want = sync.read_block(i, j)
+            got = grid.read_block(i, j)
+            np.testing.assert_array_equal(want.src, got.src)
+            np.testing.assert_array_equal(want.dst, got.dst)
+        assert grid.stats.prefetched > 0
+        assert grid.stats.block_reads == len(keys)
+    finally:
+        grid.close()
+
+
+def test_prefetch_unscheduled_key_falls_back_to_sync_read(edges, tmp_path):
+    grid = GridStore.build(edges, tmp_path, num_stripes=3)
+    grid.enable_prefetch(2)
+    keys = _all_keys(grid)
+    try:
+        # nothing scheduled: read_block must still work, synchronously
+        block = grid.read_block(*keys[0])
+        assert len(block.src) == grid.block_edges(*keys[0])
+        assert grid.stats.prefetched == 0
+    finally:
+        grid.close()
+
+
+def test_prefetch_reservations_respect_the_quota(edges, tmp_path):
+    biggest = None
+    probe = GridStore.build(edges, tmp_path / "probe", num_stripes=3)
+    biggest = max(e["bytes"] for e in probe.manifest["blocks"])
+    budget = MemoryBudget(8 * biggest, prefetch_quota=biggest)
+    grid = GridStore.open(tmp_path / "probe", budget=budget)
+    grid.enable_prefetch(4)
+    keys = _all_keys(grid)
+    grid.schedule_reads(keys)
+    try:
+        for key in keys:
+            grid.read_block(*key)
+        assert budget.prefetch_high_water_bytes <= budget.effective_prefetch_quota()
+        assert budget.prefetch_inflight_bytes == 0  # all consumed
+        assert budget.high_water_bytes <= budget.limit_bytes
+    finally:
+        grid.close()
+
+
+def test_cancel_prefetch_releases_reservations(edges, tmp_path):
+    grid = GridStore.build(edges, tmp_path, num_stripes=3, budget=1 << 20)
+    grid.enable_prefetch(2)
+    grid.schedule_reads(_all_keys(grid))
+    grid.cancel_prefetch()
+    try:
+        assert grid.budget.prefetch_inflight_bytes == 0
+        # a fresh schedule after the cancel still serves correctly
+        keys = _all_keys(grid)
+        grid.schedule_reads(keys[:2])
+        block = grid.read_block(*keys[0])
+        assert len(block.src) == grid.block_edges(*keys[0])
+    finally:
+        grid.close()
+
+
+def test_rescheduling_cancels_stale_prefetches(edges, tmp_path):
+    grid = GridStore.build(edges, tmp_path, num_stripes=3)
+    grid.enable_prefetch(2)
+    keys = _all_keys(grid)
+    try:
+        grid.schedule_reads(keys)  # plan A
+        grid.schedule_reads(list(reversed(keys)))  # plan B replaces it
+        for key in reversed(keys):
+            block = grid.read_block(*key)
+            assert len(block.src) == grid.block_edges(*key)
+        assert grid.budget.prefetch_inflight_bytes == 0
+    finally:
+        grid.close()
+
+
+def test_close_is_idempotent_and_disables_prefetch(edges, tmp_path):
+    grid = GridStore.build(edges, tmp_path, num_stripes=3)
+    grid.enable_prefetch(1)
+    grid.schedule_reads(_all_keys(grid))
+    grid.close()
+    grid.close()
+    assert not grid.prefetch_enabled
+
+
+def test_prefetched_io_error_retries_like_sync(edges, tmp_path):
+    # The fault plan injects through the prefetcher's read path exactly
+    # as it would the synchronous one: same retry, same stat.
+    GridStore.build(edges, tmp_path, num_stripes=3)
+    plan = FaultPlan.from_spec("io_error@1")
+    grid = GridStore.open(tmp_path, fault_plan=plan)
+    grid.enable_prefetch(2)
+    keys = _all_keys(grid)
+    grid.schedule_reads(keys)
+    ref = GridStore.open(tmp_path)
+    try:
+        for key in keys:
+            want = ref.read_block(*key)
+            got = grid.read_block(*key)
+            np.testing.assert_array_equal(want.src, got.src)
+            np.testing.assert_array_equal(want.dst, got.dst)
+        assert grid.stats.io_retries == 1
+        assert grid.stats.prefetched > 0
+    finally:
+        grid.close()

@@ -1,0 +1,89 @@
+"""Property: parallel sparse dispatch is bit-identical to serial, always.
+
+Samples (algorithm, worker count, partition order) with ``sparse=1`` and
+the dispatch threshold forced to zero so *every* sparse forward-CSR
+phase — not just big ones — runs through the partitioned kernel.  The
+destination-range masking of the frontier-gathered edge list preserves
+per-destination edge order, so any schedule of the disjoint slices must
+commit exactly the serial result, for all 8 algorithms.
+
+One module-scoped store and one pool per (workers, order) keep the suite
+fast; pool reuse across examples is part of the property (stale cached
+segments or operator-state generations would show up as divergence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.engine as engine_mod
+from repro.algorithms import registry
+from repro.analysis.sanitizer import default_graph
+from repro.core import Engine, EngineOptions
+from repro.layout.store import GraphStore
+
+_STORE = GraphStore.build(default_graph(), num_partitions=8)
+_SERIAL: dict[str, dict[str, np.ndarray]] = {}
+_ENGINES: dict[tuple[int, str], Engine] = {}
+
+
+def _serial_results(code: str) -> dict[str, np.ndarray]:
+    if code not in _SERIAL:
+        spec = registry.get(code)
+        engine = Engine(_STORE, EngineOptions(num_threads=4))
+        _SERIAL[code] = registry.result_arrays(spec.run(engine))
+    return _SERIAL[code]
+
+
+def _pool_engine(workers: int, order: str) -> Engine:
+    key = (workers, order)
+    if key not in _ENGINES:
+        # strict=0: the suite covers every registered algorithm, and
+        # non-partition-pure ones must degrade to serial, not refuse.
+        _ENGINES[key] = Engine(
+            _STORE,
+            EngineOptions(
+                num_threads=4,
+                backend=f"process:workers={workers}:strict=0:sparse=1",
+                partition_order=order,
+            ),
+        )
+    return _ENGINES[key]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _force_sparse_dispatch():
+    # Drop the edge-count floor so even the tiny test graph's sparse
+    # phases take the partitioned path instead of the serial inline one.
+    saved = engine_mod.SPARSE_DISPATCH_MIN_EDGES
+    engine_mod.SPARSE_DISPATCH_MIN_EDGES = 0
+    yield
+    engine_mod.SPARSE_DISPATCH_MIN_EDGES = saved
+    for engine in _ENGINES.values():
+        engine.close()
+    _ENGINES.clear()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    code=st.sampled_from(sorted(registry.names())),
+    workers=st.sampled_from([1, 2, 4]),
+    order=st.sampled_from(["forward", "reverse", "shuffle"]),
+)
+def test_sparse_dispatch_is_bit_identical_to_serial(code, workers, order):
+    engine = _pool_engine(workers, order)
+    fallbacks_before = engine.backend_stats.fallbacks
+    spec = registry.get(code)
+    concurrent = registry.result_arrays(spec.run(engine))
+    serial = _serial_results(code)
+    assert serial.keys() == concurrent.keys()
+    for key in serial:
+        np.testing.assert_array_equal(
+            serial[key], concurrent[key],
+            err_msg=f"{code} (workers={workers}, order={order}, sparse=1): "
+                    f"field {key!r} diverged from serial",
+        )
+    assert engine.backend_stats.fallbacks == fallbacks_before
